@@ -1,0 +1,103 @@
+"""Ablation benchmarks for BC-PQP's design choices (DESIGN.md §4 notes).
+
+* **Phantom service discipline** — the fluid (GPS) idealization vs the
+  paper's batched-DRR dequeues: end-to-end behaviour should be
+  indistinguishable, validating the idealization used by default.
+* **Buffer-size insensitivity** — §4's "it does not matter how high a
+  value we set for the phantom queue size" once burst control is on
+  (whereas plain PQP's burst grows with the queue).
+* **Burst-control thresholds** — theta+/T govern the burst bound
+  (X+ = theta+ r*_i T): larger budgets trade burst for utilization.
+"""
+
+import random
+
+from conftest import run_once
+
+from repro import AggregateScenario, FlowSpec, Simulator, make_limiter
+from repro.metrics import (
+    aggregate_throughput_series,
+    jain_index,
+    per_slot_throughput_series,
+)
+from repro.units import mbps, ms
+
+
+def _run(scheme, *, horizon=15.0, warmup=5.0, seed=2, **kwargs):
+    sim = Simulator()
+    limiter = make_limiter(sim, scheme, rate=mbps(10), num_queues=4,
+                           max_rtt=ms(50), **kwargs)
+    specs = [FlowSpec(slot=i, cc=cc, rtt=ms(10 + 10 * i))
+             for i, cc in enumerate(["reno", "cubic", "bbr", "vegas"])]
+    scenario = AggregateScenario(sim, limiter=limiter, specs=specs,
+                                 rng=random.Random(seed), horizon=horizon)
+    scenario.run()
+    agg = aggregate_throughput_series(scenario.trace.records, window=0.25,
+                                      start=warmup, end=horizon)
+    slots = per_slot_throughput_series(scenario.trace.records, window=0.25,
+                                       start=warmup, end=horizon)
+    return {
+        "mean": agg.mean() / mbps(10),
+        "peak": agg.max() / mbps(10),
+        "jain": jain_index([s.mean() for s in slots.values()]),
+        "drops": limiter.stats.drop_rate,
+    }
+
+
+def test_ablation_phantom_service(benchmark):
+    """Fluid GPS vs quantum DRR phantom service: same end-to-end story."""
+
+    def run_both():
+        return {svc: _run("bcpqp", phantom_service=svc)
+                for svc in ("fluid", "quantum")}
+
+    results = run_once(benchmark, run_both)
+    fluid, quantum = results["fluid"], results["quantum"]
+    assert abs(fluid["mean"] - quantum["mean"]) < 0.06
+    assert abs(fluid["jain"] - quantum["jain"]) < 0.08
+    assert abs(fluid["drops"] - quantum["drops"]) < 0.08
+
+
+def test_ablation_buffer_insensitivity(benchmark):
+    """BC-PQP's behaviour is flat across a 100x buffer range; plain PQP's
+    burst grows with the buffer (the §4 auto-sizing claim)."""
+
+    def run_sweep():
+        out = {"bcpqp": {}, "pqp": {}}
+        for mult in (1.0, 10.0, 100.0):
+            base = 75_000.0  # ~ the Reno minimum for these parameters
+            out["bcpqp"][mult] = _run("bcpqp", queue_bytes=base * mult)
+            out["pqp"][mult] = _run("pqp", queue_bytes=base * mult)
+        return out
+
+    results = run_once(benchmark, run_sweep)
+    bc = results["bcpqp"]
+    # Enforcement accuracy flat to within a few percent across 100x.
+    means = [bc[m]["mean"] for m in (1.0, 10.0, 100.0)]
+    assert max(means) - min(means) < 0.08
+    # Burst and fairness stay controlled at every size.
+    assert all(bc[m]["peak"] < 1.45 for m in (1.0, 10.0, 100.0))
+    assert all(bc[m]["jain"] > 0.85 for m in (1.0, 10.0, 100.0))
+    # Plain PQP's drop behaviour swings with the buffer size (the sizing
+    # conundrum §3.5 describes: small queues starve, huge queues absorb a
+    # multi-second slow-start backlog), while BC-PQP's stays put.
+    pqp = results["pqp"]
+    pqp_spread = max(p["drops"] for p in pqp.values()) - \
+        min(p["drops"] for p in pqp.values())
+    bc_spread = max(b["drops"] for b in bc.values()) - \
+        min(b["drops"] for b in bc.values())
+    assert bc_spread < pqp_spread + 0.05
+
+
+def test_ablation_burst_thresholds(benchmark):
+    """theta+ sweep: looser thresholds allow larger bursts."""
+
+    def run_sweep():
+        return {tp: _run("bcpqp", theta_plus=tp, horizon=20.0)
+                for tp in (1.5, 3.0, 6.0)}
+
+    results = run_once(benchmark, run_sweep)
+    # Burst (peak normalized throughput) grows with theta+.
+    assert results[6.0]["peak"] >= results[1.5]["peak"] - 0.05
+    # Rate enforcement stays correct at the paper's default.
+    assert results[1.5]["mean"] > 0.9

@@ -1,0 +1,27 @@
+"""Appendix A benchmark: the Reno phantom-buffer bound, empirically."""
+
+from conftest import run_once
+
+from repro.experiments import appendix_a
+from repro.units import mbps, ms
+
+
+def test_appendix_a_bound(benchmark):
+    config = appendix_a.Config(
+        points=((mbps(10), ms(100)), (mbps(25), ms(50))),
+        multipliers=(0.25, 1.0, 4.0),
+        horizon=30.0,
+        warmup=8.0,
+    )
+    results = run_once(benchmark, appendix_a.run, config)
+
+    for point in results:
+        # Below the bound: clear under-enforcement; at/above: near-exact.
+        assert point.achieved[0.25] < 0.93
+        assert point.achieved[1.0] > 0.93
+        assert point.achieved[4.0] > 0.95
+        assert point.achieved[0.25] < point.achieved[1.0]
+        # Steady-state oscillation stays near the analytic [2r/3, 4r/3].
+        p10, p90 = point.oscillation
+        assert 0.55 < p10 < 1.0
+        assert 1.0 < p90 < 1.45

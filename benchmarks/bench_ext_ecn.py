@@ -1,0 +1,20 @@
+"""Extension benchmark: ECN marking on phantom queues."""
+
+from conftest import run_once
+
+from repro.experiments import ext_ecn
+
+
+def test_ext_ecn(benchmark):
+    config = ext_ecn.Config(horizon=15.0, warmup=5.0)
+    result = run_once(benchmark, ext_ecn.run, config)
+
+    plain = result.cells[("pqp", False)]
+    marked = result.cells[("pqp", True)]
+    # Marking keeps rate and fairness...
+    assert abs(marked.mean_normalized - plain.mean_normalized) < 0.05
+    assert marked.fairness > 0.95
+    # ...while (nearly) eliminating loss and retransmissions.
+    assert marked.drop_rate < plain.drop_rate / 5
+    assert marked.retransmits < plain.retransmits / 5
+    assert marked.marked_packets > 0

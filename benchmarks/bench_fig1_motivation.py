@@ -1,0 +1,25 @@
+"""Figure 1 benchmark: the motivating shaper/policer trade-off."""
+
+from conftest import run_once
+
+from repro.experiments import fig1_motivation
+
+
+def test_fig1_motivation(benchmark):
+    config = fig1_motivation.Config(horizon=10.0, warmup=4.0)
+    result = run_once(benchmark, fig1_motivation.run, config)
+
+    # 1a: the shaper enforces fairness; the policer does not — and the
+    # shaper pays for it with far more CPU work per packet.
+    assert result.fairness["shaper"] > 0.95
+    assert result.fairness["policer"] < 0.8
+    assert result.cycles_per_packet["shaper"] > \
+        5 * result.cycles_per_packet["policer"]
+
+    # 1b: bigger buckets improve the average rate but inflate the peak.
+    mults = sorted(result.bucket_tradeoff)
+    avg_small, peak_small = result.bucket_tradeoff[mults[0]]
+    avg_large, peak_large = result.bucket_tradeoff[mults[-1]]
+    assert avg_small < 0.95          # small bucket under-enforces
+    assert avg_large > 0.95          # large bucket reaches the rate
+    assert peak_large > peak_small   # ...at the cost of burst

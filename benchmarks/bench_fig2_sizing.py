@@ -1,0 +1,25 @@
+"""Figure 2 benchmark: phantom-queue sizing for a Reno flow."""
+
+from conftest import run_once
+
+from repro.experiments import fig2_sizing
+from repro.units import to_mbps
+
+
+def test_fig2_sizing(benchmark):
+    config = fig2_sizing.Config(
+        buffer_kb=(100, 500, 1000, 4000), horizon=30.0, warmup=8.0)
+    result = run_once(benchmark, fig2_sizing.run, config)
+
+    target = to_mbps(config.rate)
+    avg = {kb: vals[0] for kb, vals in result.by_buffer.items()}
+    drop = {kb: vals[2] for kb, vals in result.by_buffer.items()}
+
+    # Below the Appendix-A minimum (~579 KB): under-enforcement.
+    assert avg[100] < 0.9 * target
+    # At the paper's 1000 KB: correct enforcement...
+    assert abs(avg[1000] - target) < 0.07 * target
+    # ...and "a 4000 KB queue does as good a rate enforcement as 1000 KB".
+    assert abs(avg[4000] - target) < 0.07 * target
+    # Larger queues only buy more drops.
+    assert drop[4000] > drop[1000] > drop[100]

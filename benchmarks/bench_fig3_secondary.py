@@ -1,0 +1,19 @@
+"""Figure 3 benchmark: burst control across a secondary bottleneck."""
+
+from conftest import run_once
+
+from repro.experiments import fig3_secondary_bottleneck
+
+
+def test_fig3_secondary_bottleneck(benchmark):
+    config = fig3_secondary_bottleneck.Config(horizon=25.0, warmup=8.0)
+    result = run_once(benchmark, fig3_secondary_bottleneck.run, config)
+
+    # BC-PQP's clipped bursts barely touch the 8.5 Mbps hop; PQP's
+    # O(BDP^2) queues hammer it.
+    assert result.bottleneck_drops["pqp"] > \
+        3 * max(result.bottleneck_drops["bcpqp"], 1)
+    # Short-timescale fairness is better preserved under BC-PQP.
+    assert result.mean_window_fairness["bcpqp"] >= \
+        result.mean_window_fairness["pqp"] - 0.02
+    assert result.mean_window_fairness["bcpqp"] > 0.85

@@ -1,0 +1,41 @@
+"""Figure 4 benchmark: §6.1 aggregate rate enforcement across schemes."""
+
+from conftest import run_once
+
+from repro.experiments import fig4_rate_enforcement
+from repro.units import mbps
+from repro.workload.aggregates import Section61Config
+
+
+def test_fig4_rate_enforcement(benchmark):
+    config = fig4_rate_enforcement.Config(
+        workload=Section61Config(
+            num_aggregates=6,
+            rates=(mbps(1.5), mbps(7.5), mbps(25.0)),
+            flows_per_aggregate=4,
+            horizon=10.0,
+            seed=7,
+        ),
+        warmup=3.0,
+    )
+    results = run_once(benchmark, fig4_rate_enforcement.run, config)
+
+    # 4a: the shaper's instantaneous rate is the tightest; every scheme
+    # keeps the median close to the enforced rate.
+    assert results["shaper"].p99 < 1.05
+    for scheme in ("shaper", "policer", "policer+", "bcpqp"):
+        assert 0.9 < results[scheme].p50 <= 1.05
+
+    # 4b: Policer+ and FP have the long burst tails; BC-PQP's tail is
+    # far smaller.
+    assert results["policer+"].peak > 1.5
+    assert results["bcpqp"].peak < results["policer+"].peak
+    assert results["bcpqp"].peak < results["fairpolicer"].peak
+
+    # 4c: average enforcement within ~10% of the rate for all schemes.
+    for scheme, summary in results.items():
+        assert 0.85 < summary.mean_normalized < 1.1, scheme
+
+    # 4d: drops fall as the BDP grows (rate increases) for the policer.
+    drops = results["policer"].drop_rate_by_rate
+    assert drops[mbps(1.5)] > drops[mbps(25.0)]

@@ -1,0 +1,97 @@
+"""Figure 5 benchmark: CPU efficiency of the schemes.
+
+Two complementary measurements:
+
+* the modeled cycles-per-packet from the experiment harness (a single
+  pedantic round), asserting the paper's ranking and rough ratios;
+* real wall-clock microbenchmarks of each limiter's packet-processing hot
+  path, for performance tracking of this implementation.  NOTE: Python
+  wall time does *not* reproduce the paper's CPU ranking — the shaper's
+  deque operations run in C while the phantom drain arithmetic runs in
+  Python bytecode, whereas on the paper's DPDK middlebox the shaper's
+  costs are DRAM round-trips and timer interrupts.  The modeled cycle
+  counts above are the Figure 5 metric; these timings just keep this
+  codebase honest about regressions.
+"""
+
+import itertools
+
+from conftest import run_once
+
+from repro.experiments import fig5_efficiency
+from repro.net.packet import FlowId, Packet
+from repro.net.sink import NullSink
+from repro.schemes import make_limiter
+from repro.sim.simulator import Simulator
+from repro.units import mbps, ms
+
+
+def test_fig5_modeled_cycles(benchmark):
+    config = fig5_efficiency.Config(horizon=8.0, warmup=2.0)
+    result = run_once(benchmark, fig5_efficiency.run, config)
+    ratios = result.ratio_to("policer")
+
+    # The paper's ranking: shaper >> FP > phantom schemes > policer.
+    assert ratios["shaper"] > ratios["fairpolicer"] > 1.0
+    assert ratios["shaper"] > ratios["bcpqp"] > 1.0
+    # "BC-PQP uses 5-7x fewer CPU cycles per packet [than the shaper]".
+    assert result.cycles_per_packet["shaper"] > \
+        4 * result.cycles_per_packet["bcpqp"]
+    # "...and is marginally costlier than a simple policer" (1.5-2x).
+    assert ratios["bcpqp"] < 2.5
+    # Batched phantom dequeues keep BC-PQP at or below FP's per-packet cost.
+    assert ratios["bcpqp"] <= ratios["fairpolicer"] * 1.1
+
+
+def _hot_path(scheme):
+    """Build a limiter and a saturating arrival closure for timing."""
+    sim = Simulator()
+    limiter = make_limiter(sim, scheme, rate=mbps(50), num_queues=4,
+                           max_rtt=ms(50))
+    limiter.connect(NullSink())
+    flows = [FlowId(0, i) for i in range(4)]
+    counter = itertools.count()
+
+    def process_thousand():
+        # Advance time a little per batch so token/drain math runs.
+        base = next(counter) * 1000
+        for i in range(1000):
+            sim._now = (base + i) * 2e-5  # 50k pkt/s arrival clock
+            limiter.receive(Packet.data(flows[i % 4], base + i, sim.now))
+
+    return process_thousand
+
+
+def test_hot_path_policer(benchmark):
+    benchmark(_hot_path("policer"))
+
+
+def test_hot_path_pqp(benchmark):
+    benchmark(_hot_path("pqp"))
+
+
+def test_hot_path_bcpqp(benchmark):
+    benchmark(_hot_path("bcpqp"))
+
+
+def test_hot_path_fairpolicer(benchmark):
+    benchmark(_hot_path("fairpolicer"))
+
+
+def test_hot_path_shaper(benchmark):
+    """The shaper's receive() buffers packets and runs dequeue timers
+    (the event queue is drained as a real middlebox core would)."""
+    sim = Simulator()
+    limiter = make_limiter(sim, "shaper", rate=mbps(50), num_queues=4,
+                           max_rtt=ms(50))
+    limiter.connect(NullSink())
+    flows = [FlowId(0, i) for i in range(4)]
+    counter = itertools.count()
+
+    def process_thousand():
+        base = next(counter) * 1000
+        for i in range(1000):
+            limiter.receive(Packet.data(flows[i % 4], base + i, sim.now))
+        sim.run(until=sim.now + 0.02)
+
+    benchmark(process_thousand)

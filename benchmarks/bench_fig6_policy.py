@@ -1,0 +1,41 @@
+"""Figure 6 benchmark: policy enforcement (fairness, weighted, nested)."""
+
+from conftest import run_once
+
+from repro.experiments import fig6_policy
+from repro.units import mbps
+from repro.workload.aggregates import Section61Config
+
+
+def test_fig6_policy(benchmark):
+    config = fig6_policy.Config(
+        workload=Section61Config(
+            num_aggregates=4,
+            rates=(mbps(7.5), mbps(25.0)),
+            flows_per_aggregate=4,
+            horizon=10.0,
+            seed=11,
+        ),
+        warmup=3.0,
+        packets_per_weight=400,
+        weighted_horizon=30.0,
+        nested_horizon=15.0,
+    )
+    result = run_once(benchmark, fig6_policy.run, config)
+
+    # 6a: BC-PQP's fairness tracks the shaper's and beats the policer's.
+    mean = {s: m for s, (_p10, _p50, m) in result.fairness_cdf.items()}
+    assert mean["bcpqp"] > mean["policer"]
+    assert abs(mean["bcpqp"] - mean["shaper"]) < 0.1
+
+    # 6b/6c: weight-proportional flows complete together under BC-PQP;
+    # FairPolicer cannot do weighted sharing.
+    bc_spread, bc_wj = result.weighted["bcpqp"]
+    fp_spread, fp_wj = result.weighted["fairpolicer"]
+    assert bc_spread < 3.0
+    assert bc_wj > 0.95
+    assert fp_spread > 2 * bc_spread or fp_wj < bc_wj - 0.2
+
+    # 6d: strict priority holds while the high-priority group is active.
+    assert result.nested_high_share > 0.9
+    assert result.nested_low_share_when_high_active < 0.1

@@ -1,0 +1,26 @@
+"""Figure 7 benchmark: application QoE (video + web) under enforcement."""
+
+from conftest import run_once
+
+from repro.experiments import fig7_applications
+
+
+def test_fig7_applications(benchmark):
+    config = fig7_applications.Config(
+        video_chunks=12, web_pages=8, horizon=80.0)
+    result = run_once(benchmark, fig7_applications.run, config)
+
+    # 7a: BC-PQP shares the 3 Mbps fairly between the video and the rest;
+    # the status-quo policer lets the BBR video hog the link.
+    for service in ("youtube", "netflix"):
+        assert result.video[("bcpqp", service)].fairness > 0.95
+        assert result.video[("bcpqp", service)].average_quality > 1.0
+    assert result.video[("policer", "youtube")].fairness < 0.8
+
+    # 7b: with a non-yielding bulk download, the status-quo schemes starve
+    # the web class; weighted BC-PQP keeps pages loading.
+    bc_p50, _bc_p90, bc_pages = result.web["bcpqp"]
+    _pol_p50, _pol_p90, pol_pages = result.web["policer"]
+    assert bc_pages >= 6
+    assert pol_pages < bc_pages / 2
+    assert bc_p50 < 15.0

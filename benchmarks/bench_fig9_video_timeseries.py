@@ -1,0 +1,17 @@
+"""Figure 9 benchmark: the BBR video's share under each scheme."""
+
+from conftest import run_once
+
+from repro.experiments import fig9_video_timeseries
+
+
+def test_fig9_video_timeseries(benchmark):
+    config = fig9_video_timeseries.Config(chunks=15, horizon=100.0)
+    result = run_once(benchmark, fig9_video_timeseries.run, config)
+
+    # Through the policer the BBR video hogs most of the bandwidth
+    # (Appendix B); BC-PQP pins it at its fair half.
+    assert result.video_share["policer"] > 0.75
+    assert 0.35 < result.video_share["bcpqp"] < 0.65
+    # The DRR shaper also shares fairly (at the cost of queueing delay).
+    assert 0.35 < result.video_share["shaper"] < 0.65

@@ -1,0 +1,13 @@
+"""Shared benchmark helpers.
+
+Every figure benchmark runs its (scaled-down) experiment exactly once via
+``benchmark.pedantic`` — the wall time recorded is the cost of regenerating
+that figure — and then asserts the figure's qualitative *shape* (who wins,
+in which direction) so a regression in the algorithms fails the bench.
+"""
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` a single time under pytest-benchmark and return its value."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

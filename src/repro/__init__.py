@@ -1,0 +1,82 @@
+"""BC-PQP: Efficient Policy-Rich Rate Enforcement with Phantom Queues.
+
+A faithful Python reproduction of the SIGCOMM 2024 paper, including the
+discrete-event network substrate, TCP congestion-control stacks, all
+baseline rate limiters (shaper, policer, FairPolicer) and the paper's
+contribution: phantom-queue policing (PQP) with burst control (BC-PQP).
+
+Quick start
+-----------
+>>> from repro import Simulator, make_limiter, AggregateScenario, FlowSpec
+>>> from repro.units import mbps, ms
+>>> import random
+>>> sim = Simulator()
+>>> limiter = make_limiter(sim, "bcpqp", rate=mbps(10), num_queues=2,
+...                        max_rtt=ms(50))
+>>> scenario = AggregateScenario(
+...     sim, limiter=limiter, rng=random.Random(1), horizon=5.0,
+...     specs=[FlowSpec(slot=0, cc="reno", rtt=ms(20)),
+...            FlowSpec(slot=1, cc="cubic", rtt=ms(40))])
+>>> scenario.run()
+>>> limiter.stats.forwarded_packets > 0
+True
+"""
+
+from repro.classify import HashClassifier, SingleQueueClassifier, SlotClassifier
+from repro.core import BCPQP, PQP, PhantomQueueSet
+from repro.core.sizing import (
+    bcpqp_default_buffer,
+    cubic_min_bucket,
+    reno_min_phantom_buffer,
+    reno_steady_rate_bounds,
+)
+from repro.limiters import (
+    FairPolicer,
+    RateLimiter,
+    Shaper,
+    TokenBucketPolicer,
+)
+from repro.net import FlowId, Link, Packet, Pipe, Trace
+from repro.net.middlebox import Middlebox
+from repro.policy import ClassNode, Leaf, Policy
+from repro.scenario import AggregateScenario, BottleneckSpec, FlowRecord
+from repro.schemes import SCHEMES, make_limiter
+from repro.sim import Simulator
+from repro.workload import FlowSpec, OnOffSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggregateScenario",
+    "BCPQP",
+    "BottleneckSpec",
+    "ClassNode",
+    "FairPolicer",
+    "FlowId",
+    "FlowRecord",
+    "FlowSpec",
+    "HashClassifier",
+    "Leaf",
+    "Link",
+    "Middlebox",
+    "OnOffSpec",
+    "PQP",
+    "Packet",
+    "PhantomQueueSet",
+    "Pipe",
+    "Policy",
+    "RateLimiter",
+    "SCHEMES",
+    "Shaper",
+    "Simulator",
+    "SingleQueueClassifier",
+    "SlotClassifier",
+    "TokenBucketPolicer",
+    "Trace",
+    "bcpqp_default_buffer",
+    "cubic_min_bucket",
+    "make_limiter",
+    "reno_min_phantom_buffer",
+    "reno_steady_rate_bounds",
+    "__version__",
+]

@@ -1,0 +1,27 @@
+"""TCP endpoints and congestion-control algorithms.
+
+The senders implement packet-granularity TCP: cumulative ACKs, dup-ACK fast
+retransmit, NewReno-style recovery, RTO with Karn's rule, and optional
+pacing (used by BBR).  Four congestion controllers mirror the protocols the
+paper evaluates with the Linux kernel stack: New Reno, Cubic, BBR and Vegas.
+"""
+
+from repro.cc.base import AckSample, CongestionControl, make_cc
+from repro.cc.bbr import Bbr
+from repro.cc.cubic import Cubic
+from repro.cc.endpoint import FlowDemux, TcpReceiver, TcpSender
+from repro.cc.reno import NewReno
+from repro.cc.vegas import Vegas
+
+__all__ = [
+    "AckSample",
+    "Bbr",
+    "CongestionControl",
+    "Cubic",
+    "FlowDemux",
+    "NewReno",
+    "TcpReceiver",
+    "TcpSender",
+    "Vegas",
+    "make_cc",
+]

@@ -1,0 +1,175 @@
+"""BBR congestion control (v1 dynamics, simplified).
+
+Model-based: estimates bottleneck bandwidth (windowed max of delivery-rate
+samples) and round-trip propagation time (windowed min RTT) and paces at
+``gain x btl_bw``.  The state machine implements STARTUP, DRAIN, PROBE_BW
+(eight-phase gain cycle) and PROBE_RTT.  Loss events are ignored for rate
+computation, as in BBRv1 — which is exactly why BBR flows steamroll AIMD
+flows through a plain policer (Figure 9's YouTube behaviour).
+"""
+
+from __future__ import annotations
+
+from repro.cc.base import AckSample, CongestionControl
+from repro.cc.filters import WindowedMax, WindowedMin
+
+
+class Bbr(CongestionControl):
+    """Simplified BBRv1."""
+
+    name = "bbr"
+    needs_rate_samples = True
+
+    HIGH_GAIN = 2.885
+    DRAIN_GAIN = 1.0 / 2.885
+    CYCLE_GAINS = (1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0)
+    CWND_GAIN = 2.0
+    MIN_PIPE_CWND = 4.0
+    #: Bandwidth filter window, in RTT rounds (approximated by cycle steps).
+    BW_WINDOW_ROUNDS = 10
+    RTPROP_WINDOW = 10.0
+    PROBE_RTT_DURATION = 0.2
+
+    def __init__(self, *, initial_cwnd: float = 10.0) -> None:
+        super().__init__(initial_cwnd=initial_cwnd)
+        self._state = "startup"
+        self._bw_filter = WindowedMax(1.0)  # window retuned as RTprop learns
+        self._rtprop = WindowedMin(self.RTPROP_WINDOW)
+        self._pacing_gain = self.HIGH_GAIN
+        self._cwnd_gain = self.HIGH_GAIN
+        self._full_bw = 0.0
+        self._full_bw_count = 0
+        self._cycle_index = 0
+        self._cycle_stamp = 0.0
+        self._probe_rtt_done_at: float | None = None
+        # Disable loss-driven slow start; BBR ignores ssthresh.
+        self.ssthresh = float("inf")
+
+    # ------------------------------------------------------------------
+    # Estimator access
+    # ------------------------------------------------------------------
+
+    def btl_bw(self) -> float:
+        """Bottleneck bandwidth estimate, packets/second (0 if unknown)."""
+        value = self._bw_filter.get()
+        return value if value is not None else 0.0
+
+    def rtprop(self) -> float | None:
+        """Round-trip propagation estimate in seconds, or ``None``."""
+        return self._rtprop.get()
+
+    def bdp_packets(self) -> float:
+        """Estimated pipe size in packets (bw x rtprop)."""
+        rtprop = self.rtprop()
+        bw = self.btl_bw()
+        if rtprop is None or bw <= 0:
+            return self.cwnd
+        return bw * rtprop
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+
+    def on_ack(self, sample: AckSample) -> None:
+        now = sample.now
+        if sample.rtt is not None:
+            self._rtprop.update(now, sample.rtt)
+            # Retune the bandwidth filter window to ~10 RTTs.
+            rtprop = self._rtprop.get()
+            if rtprop:
+                self._bw_filter._window = max(  # noqa: SLF001 - own helper
+                    self.BW_WINDOW_ROUNDS * rtprop, 1e-3
+                )
+        if sample.delivery_rate is not None and sample.delivery_rate > 0:
+            self._bw_filter.update(now, sample.delivery_rate)
+
+        self._update_state(now, sample)
+        self._set_cwnd(sample)
+
+    def on_loss_event(self, now: float, inflight: float) -> None:
+        # BBRv1 does not react to isolated losses with a rate cut.
+        del now, inflight
+
+    def on_recovery_exit(self, now: float) -> None:
+        del now
+
+    def on_timeout(self, now: float, inflight: float) -> None:
+        del now, inflight
+        self.cwnd = self.MIN_PIPE_CWND
+
+    def pacing_rate(self, now: float) -> float | None:
+        del now
+        bw = self.btl_bw()
+        if bw <= 0:
+            return None  # before any estimate: ACK-clocked slow start burst
+        return max(self._pacing_gain * bw, 1.0)
+
+    # ------------------------------------------------------------------
+    # State machine
+    # ------------------------------------------------------------------
+
+    def _update_state(self, now: float, sample: AckSample) -> None:
+        if self._state == "startup":
+            self._check_full_pipe()
+            if self._full_bw_count >= 3:
+                self._state = "drain"
+                self._pacing_gain = self.DRAIN_GAIN
+                self._cwnd_gain = self.HIGH_GAIN
+        if self._state == "drain" and sample.inflight <= self.bdp_packets():
+            self._enter_probe_bw(now)
+        if self._state == "probe_bw":
+            self._advance_cycle(now, sample)
+        self._check_probe_rtt(now, sample)
+
+    def _check_full_pipe(self) -> None:
+        bw = self.btl_bw()
+        if bw >= self._full_bw * 1.25:
+            self._full_bw = bw
+            self._full_bw_count = 0
+        elif bw > 0:
+            self._full_bw_count += 1
+
+    def _enter_probe_bw(self, now: float) -> None:
+        self._state = "probe_bw"
+        self._cycle_index = 1  # start in the drain-ish 0.75 phase
+        self._cycle_stamp = now
+        self._pacing_gain = self.CYCLE_GAINS[self._cycle_index]
+        self._cwnd_gain = self.CWND_GAIN
+
+    def _advance_cycle(self, now: float, sample: AckSample) -> None:
+        rtprop = self.rtprop() or 0.01
+        elapsed = now - self._cycle_stamp
+        gain = self.CYCLE_GAINS[self._cycle_index]
+        advance = elapsed > rtprop
+        if gain == 0.75 and sample.inflight <= self.bdp_packets():
+            advance = True  # leave the drain phase as soon as pipe drains
+        if advance:
+            self._cycle_index = (self._cycle_index + 1) % len(self.CYCLE_GAINS)
+            self._cycle_stamp = now
+            self._pacing_gain = self.CYCLE_GAINS[self._cycle_index]
+
+    def _check_probe_rtt(self, now: float, sample: AckSample) -> None:
+        del sample
+        if self._state == "probe_rtt":
+            if self._probe_rtt_done_at is not None and now >= self._probe_rtt_done_at:
+                self._rtprop.reset()
+                self._probe_rtt_done_at = None
+                self._enter_probe_bw(now)
+            return
+        age = self._rtprop.age(now)
+        if self._state == "probe_bw" and age is not None and age > self.RTPROP_WINDOW:
+            self._state = "probe_rtt"
+            self._probe_rtt_done_at = now + self.PROBE_RTT_DURATION
+
+    def _set_cwnd(self, sample: AckSample) -> None:
+        if self._state == "probe_rtt":
+            self.cwnd = self.MIN_PIPE_CWND
+            return
+        rtprop = self.rtprop()
+        bw = self.btl_bw()
+        if rtprop is None or bw <= 0:
+            # No model yet: grow like slow start (one packet per ACKed
+            # packet) until the first delivery-rate sample lands.
+            self.cwnd += sample.newly_acked
+            return
+        self.cwnd = max(self._cwnd_gain * bw * rtprop, self.MIN_PIPE_CWND)

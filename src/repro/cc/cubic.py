@@ -1,0 +1,67 @@
+"""TCP Cubic congestion control (RFC 8312 dynamics, simplified).
+
+Cubic's window growth is a function of *time since the last loss*, not of
+RTT, which is why its policer bucket-size requirement differs from Reno's
+(larger at small rate x RTT, smaller at large — the crossover the paper
+exploits when sizing Policer+/FairPolicer).
+"""
+
+from __future__ import annotations
+
+from repro.cc.base import AckSample, CongestionControl
+
+
+class Cubic(CongestionControl):
+    """Cubic window growth W(t) = C (t - K)^3 + W_max with beta = 0.7."""
+
+    name = "cubic"
+
+    #: RFC 8312 constants.
+    C = 0.4
+    BETA = 0.7
+
+    def __init__(self, *, initial_cwnd: float = 10.0) -> None:
+        super().__init__(initial_cwnd=initial_cwnd)
+        self._w_max = 0.0
+        self._k = 0.0
+        self._epoch_start: float | None = None
+
+    def on_ack(self, sample: AckSample) -> None:
+        if self.cwnd < self.ssthresh:
+            self.cwnd = min(self.cwnd + sample.newly_acked, self.ssthresh)
+            if self.cwnd < self.ssthresh:
+                return
+        if self._epoch_start is None:
+            self._start_epoch(sample.now)
+        t = sample.now - self._epoch_start
+        target = self.C * (t - self._k) ** 3 + self._w_max
+        if target > self.cwnd:
+            # Approach the cubic target at most one packet per ACK.
+            self.cwnd += min(
+                (target - self.cwnd) / self.cwnd, 1.0
+            ) * sample.newly_acked
+        else:
+            # Max-probing plateau: creep upward slowly (RFC 8312 §4.4).
+            self.cwnd += 0.01 * sample.newly_acked / self.cwnd
+
+    def on_loss_event(self, now: float, inflight: float) -> None:
+        del inflight
+        self._w_max = self.cwnd
+        self.ssthresh = max(self.cwnd * self.BETA, self.MIN_CWND)
+        self.cwnd = self.ssthresh
+        self._start_epoch(now)
+
+    def on_timeout(self, now: float, flight: float) -> None:
+        del now
+        window = max(flight, self.cwnd)
+        self._w_max = window
+        self.ssthresh = max(window * self.BETA, self.MIN_CWND)
+        self.cwnd = 1.0
+        self._epoch_start = None
+
+    def _start_epoch(self, now: float) -> None:
+        self._epoch_start = now
+        if self._w_max > self.cwnd:
+            self._k = ((self._w_max - self.cwnd) / self.C) ** (1.0 / 3.0)
+        else:
+            self._k = 0.0

@@ -1,0 +1,697 @@
+"""TCP sender and receiver endpoints.
+
+The sender implements the loss-recovery machinery shared by all congestion
+controllers: cumulative ACK processing, SACK-based loss detection and
+retransmission (an RFC 6675-style scoreboard — the paper's testbed runs
+Linux TCP, where SACK recovery repairs a whole loss burst in about one
+RTT), an RFC 6298 retransmission timer with Karn's rule and exponential
+backoff, and pacing for rate-based controllers (BBR).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from repro.cc.base import AckSample, CongestionControl
+from repro.net.packet import FlowId, Packet
+from repro.net.sink import PacketSink
+from repro.sim.events import EventHandle
+from repro.sim.simulator import Simulator
+from repro.units import MSS
+
+#: RFC 6298 constants.
+_INITIAL_RTO = 1.0
+_MIN_RTO = 0.2
+_MAX_RTO = 60.0
+#: RFC 6675 DupThresh: a hole is lost once 3 later packets were SACKed.
+_DUP_THRESH = 3
+#: TLP probe timeout factor (RFC 8985: PTO ~= 2 * SRTT).
+_TLP_SRTT_FACTOR = 2.0
+#: Linux internal TCP pacing ratios (sysctl tcp_pacing_ss_ratio /
+#: tcp_pacing_ca_ratio): cwnd/srtt scaled by 200% in slow start, 120% in
+#: congestion avoidance.  Applied whenever the controller doesn't supply
+#: its own pacing rate (BBR does).
+_PACING_SS_RATIO = 2.0
+_PACING_CA_RATIO = 1.2
+
+
+class TcpSender:
+    """One TCP flow's sender.
+
+    Parameters
+    ----------
+    sim:
+        The simulator.
+    flow:
+        Flow identity stamped on every packet.
+    cc:
+        Congestion controller instance (owned by this sender).
+    egress:
+        First hop for data packets (a pipe into the rate limiter).
+    total_packets:
+        Flow length in MSS packets; ``None`` means backlogged forever.
+    start_time:
+        Absolute time the flow starts.
+    on_complete:
+        Called as ``on_complete(sender, now)`` when the last packet is
+        cumulatively acknowledged (finite flows only).
+    initial_rtt:
+        Seed for the RTT estimator, as the SYN/SYN-ACK handshake provides
+        in real TCP.  Without it the first retransmission timeout is the
+        conservative 1 s initial RTO and the initial window is sent
+        unpaced — both punish short flows unrealistically.
+    ecn:
+        Negotiate ECN: data packets carry ECT, and an echoed CE mark
+        triggers one congestion-window reduction per round trip (RFC 3168
+        semantics) without any retransmission.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        flow: FlowId,
+        cc: CongestionControl,
+        egress: PacketSink,
+        *,
+        total_packets: int | None = None,
+        start_time: float = 0.0,
+        mss: int = MSS,
+        on_complete: Callable[["TcpSender", float], None] | None = None,
+        initial_rtt: float | None = None,
+        ecn: bool = False,
+    ) -> None:
+        self._sim = sim
+        self.flow = flow
+        self.cc = cc
+        self._egress = egress
+        self._total = total_packets
+        self._mss = mss
+        self._on_complete = on_complete
+        self.ecn = ecn
+        # One ECN-triggered reduction per RTT (RFC 3168 CWR gating).
+        self._ecn_cwr_point = 0
+        self.ecn_reductions = 0
+
+        # Sequence space (packet numbers).
+        self.snd_una = 0
+        self.snd_nxt = 0
+        self._newly_acked = 0
+        self._in_recovery = False
+        self._recover_point = 0
+        # PRR-style budget: while in recovery, transmissions (retransmits
+        # or new data) are clocked to packets newly delivered, so a flow
+        # repairing a large burst loss retries at the path's acceptance
+        # rate instead of blasting cwnd every reordering window.
+        self._recovery_budget = 0.0
+
+        # SACK scoreboard.
+        self._sacked: set[int] = set()
+        self._fack = 0  # highest SACKed seq + 1
+        self._lost_set: set[int] = set()
+        self._lost_heap: list[int] = []
+        self._retx_out: dict[int, float] = {}  # seq -> retransmit time
+        self._loss_scan_ptr = 0  # seqs below this were loss-checked
+
+        # RTO state (RFC 6298), optionally seeded by the handshake sample.
+        self._srtt: float | None = None
+        self._rttvar = 0.0
+        self._rto = _INITIAL_RTO
+        if initial_rtt is not None and initial_rtt > 0:
+            self._update_rto(initial_rtt)
+        self._rto_timer: EventHandle | None = None
+        # Tail-loss-probe timer (RFC 8985 TLP): fires ~2 SRTT after the
+        # last ACK while data is outstanding, retransmitting the highest
+        # un-SACKed packet.  The probe's SACK feedback lets RACK repair a
+        # whole-flight loss in ~2 RTTs instead of waiting for the 200 ms+
+        # RTO — the behaviour of the Linux stacks in the paper's testbed.
+        self._tlp_timer: EventHandle | None = None
+
+        # Pacing state.
+        self._next_send_time = 0.0
+        self._pacing_timer: EventHandle | None = None
+
+        # Per-packet send records: seq -> (sent_time, delivered_at_send,
+        # delivered_time_at_send, retransmit).  Used for delivery-rate
+        # sampling (BBR) and RACK-style time-based loss detection.
+        self._delivered = 0
+        self._delivered_time = start_time
+        self._send_info: dict[int, tuple[float, int, float, bool]] = {}
+        # RACK point: latest original send time among delivered packets.
+        self._rack_time = 0.0
+
+        # Stats.
+        self.packets_sent = 0
+        self.retransmits = 0
+        self.timeouts = 0
+        self.tlp_probes = 0
+        self.loss_events = 0
+        self.completed_at: float | None = None
+        self.started = False
+
+        sim.schedule_at(max(start_time, sim.now), self._start)
+
+    # ------------------------------------------------------------------
+    # Public state
+    # ------------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        """True once a finite flow is fully acknowledged."""
+        return self.completed_at is not None
+
+    @property
+    def inflight(self) -> int:
+        """Scoreboard pipe estimate: outstanding minus SACKed minus
+        lost-but-not-retransmitted, plus outstanding retransmissions."""
+        pipe = (
+            (self.snd_nxt - self.snd_una)
+            - len(self._sacked)
+            - len(self._lost_set)
+            + len(self._retx_out)
+        )
+        return max(pipe, 0)
+
+    @property
+    def in_recovery(self) -> bool:
+        """True while repairing a loss event."""
+        return self._in_recovery
+
+    @property
+    def rto(self) -> float:
+        """Current retransmission timeout in seconds."""
+        return self._rto
+
+    @property
+    def srtt(self) -> float | None:
+        """Smoothed RTT estimate, or ``None`` before the first sample."""
+        return self._srtt
+
+    # ------------------------------------------------------------------
+    # ACK path (PacketSink protocol: the reverse pipe delivers here)
+    # ------------------------------------------------------------------
+
+    def receive(self, packet: Packet) -> None:
+        """Process an incoming ACK."""
+        if not packet.is_ack or self.done:
+            return
+        now = self._sim.now
+        ack = packet.ack_next
+        old_una = self.snd_una
+
+        if (
+            self.ecn
+            and packet.ecn_echo
+            and self.snd_una >= self._ecn_cwr_point
+            and not self._in_recovery
+        ):
+            self._ecn_cwr_point = self.snd_nxt
+            self.ecn_reductions += 1
+            self.cc.on_loss_event(now, self.inflight)
+
+        newly_sacked = self._apply_sack(packet.sack)
+        delivered_this_ack = newly_sacked
+
+        if ack > self.snd_una:
+            self._advance_una(ack)
+            rtt_sample: float | None = None
+            if not packet.echo_retransmit and packet.echo_ts > 0:
+                rtt_sample = max(now - packet.echo_ts, 1e-9)
+                self._update_rto(rtt_sample)
+            newly = self._newly_acked
+            delivered_this_ack += newly
+            self._delivered += newly
+            self._delivered_time = now
+            delivery_rate = self._take_rate_sample(ack, now)
+
+            if self._in_recovery and ack >= self._recover_point:
+                self._in_recovery = False
+                self._recovery_budget = 0.0
+                self._retx_out.clear()
+                self.cc.on_recovery_exit(now)
+            if not self._in_recovery:
+                self.cc.on_ack(
+                    AckSample(
+                        newly_acked=newly,
+                        rtt=rtt_sample,
+                        delivery_rate=delivery_rate,
+                        inflight=self.inflight,
+                        now=now,
+                    )
+                )
+            if self._total is not None and self.snd_una >= self._total:
+                self._complete(now)
+                return
+        if (ack > old_una or newly_sacked > 0) and self.snd_nxt > self.snd_una:
+            # Forward progress (cumulative or SACK): the connection is not
+            # stalled, so push the retransmission timer out (Linux rearms
+            # the RTO on any ACK that advances the scoreboard — otherwise
+            # a long SACK-paced recovery gets nuked by a spurious RTO).
+            self._restart_rto_timer()
+            self._rearm_tlp_timer()
+
+        self._detect_losses(now)
+        if self._in_recovery:
+            # PRR: clock transmissions to deliveries; the +1 below is the
+            # slow-start reduction bound (grow the pipe back toward cwnd
+            # when it fell under it, e.g. after losing a whole flight).
+            self._recovery_budget += max(delivered_this_ack, 0)
+            if self.inflight < self.cc.cwnd:
+                self._recovery_budget += 1
+        self._try_send()
+
+    def _advance_una(self, ack: int) -> None:
+        """Move ``snd_una`` to ``ack`` and prune scoreboard state below."""
+        self._newly_acked = 0
+        for seq in range(self.snd_una, ack):
+            if seq in self._sacked:
+                self._sacked.discard(seq)
+            else:
+                self._newly_acked += 1
+            self._lost_set.discard(seq)
+            self._retx_out.pop(seq, None)
+            info = self._send_info.pop(seq, None)
+            if info is not None and info[0] > self._rack_time:
+                self._rack_time = info[0]
+        self.snd_una = ack
+        self._loss_scan_ptr = max(self._loss_scan_ptr, ack)
+        # Drop stale heap heads lazily.
+        heap = self._lost_heap
+        while heap and heap[0] < ack:
+            heapq.heappop(heap)
+
+    def _apply_sack(self, ranges: tuple[tuple[int, int], ...]) -> int:
+        """Merge SACK ranges into the scoreboard; return newly SACKed count."""
+        newly = 0
+        for start, end in ranges:
+            for seq in range(max(start, self.snd_una), end):
+                if seq not in self._sacked:
+                    self._sacked.add(seq)
+                    self._lost_set.discard(seq)
+                    self._retx_out.pop(seq, None)
+                    info = self._send_info.get(seq)
+                    if info is not None and info[0] > self._rack_time:
+                        self._rack_time = info[0]
+                    newly += 1
+            if end > self._fack:
+                self._fack = end
+        return newly
+
+    def _detect_losses(self, now: float) -> None:
+        """Mark holes with >= DupThresh SACKed packets above them as lost,
+        and re-mark stale retransmissions (RACK-style: a retransmit still
+        unacknowledged after ~1.5 smoothed RTTs was lost again — Linux's
+        RACK-TLP behaviour, without which a dropped retransmission stalls
+        the flow until an RTO)."""
+        horizon = self._fack - _DUP_THRESH
+        new_loss = False
+        scan = max(self._loss_scan_ptr, self.snd_una)
+        while scan < horizon:
+            if (
+                scan not in self._sacked
+                and scan not in self._retx_out
+                and scan not in self._lost_set
+            ):
+                self._lost_set.add(scan)
+                heapq.heappush(self._lost_heap, scan)
+                new_loss = True
+            scan += 1
+        self._loss_scan_ptr = max(self._loss_scan_ptr, scan)
+
+        if self._retx_out and self._srtt is not None:
+            reo_window = 1.5 * self._srtt + 4.0 * self._rttvar
+            stale = [
+                seq
+                for seq, sent in self._retx_out.items()
+                if now - sent > reo_window
+            ]
+            for seq in stale:
+                del self._retx_out[seq]
+                self._lost_set.add(seq)
+                heapq.heappush(self._lost_heap, seq)
+                new_loss = True
+
+        # RACK time-based detection for the head of the window: a packet
+        # sent a reordering-window before the most recently delivered one
+        # is lost even when fewer than DupThresh packets follow it (the
+        # small-cwnd regime where dup-ACK detection cannot fire and Linux
+        # relies on RACK-TLP).  DupThresh handles the large-window case,
+        # so scanning a few head sequences suffices.
+        if self._srtt is not None and self._rack_time > 0:
+            reo = 0.25 * self._srtt + 4.0 * self._rttvar
+            head_end = min(self.snd_una + 8, self.snd_nxt)
+            for seq in range(self.snd_una, head_end):
+                if (
+                    seq in self._sacked
+                    or seq in self._lost_set
+                    or seq in self._retx_out
+                ):
+                    continue
+                info = self._send_info.get(seq)
+                if info is not None and info[0] + reo < self._rack_time:
+                    self._lost_set.add(seq)
+                    heapq.heappush(self._lost_heap, seq)
+                    new_loss = True
+
+        if new_loss and not self._in_recovery:
+            self._enter_recovery(now)
+
+    def _enter_recovery(self, now: float) -> None:
+        self._in_recovery = True
+        self._recover_point = self.snd_nxt
+        # Allow the immediate fast retransmit that opens recovery.
+        self._recovery_budget = max(self._recovery_budget, 1.0)
+        self.loss_events += 1
+        self.cc.on_loss_event(now, self.inflight)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+
+    def _start(self) -> None:
+        self.started = True
+        self._next_send_time = self._sim.now
+        self._try_send()
+
+    def _next_lost(self) -> int | None:
+        heap = self._lost_heap
+        while heap:
+            seq = heap[0]
+            if seq in self._lost_set and seq >= self.snd_una:
+                return seq
+            heapq.heappop(heap)
+        return None
+
+    def _try_send(self) -> None:
+        if self.done or not self.started:
+            return
+        now = self._sim.now
+        rate = self.cc.pacing_rate(now)
+        if rate is None and self._srtt is not None:
+            # Linux-style internal pacing: spread the window over the RTT.
+            ratio = _PACING_SS_RATIO if self.cc.in_slow_start else _PACING_CA_RATIO
+            rate = max(ratio * self.cc.cwnd / self._srtt, 1.0)
+        while True:
+            retx_seq = self._next_lost()
+            if retx_seq is None and not self._may_send_new():
+                return
+            if self.inflight + 1 > self.cc.cwnd:
+                return
+            if self._in_recovery and self._recovery_budget < 1.0:
+                return
+            if rate is not None:
+                if now < self._next_send_time - 1e-12:
+                    self._arm_pacing_timer()
+                    return
+                self._next_send_time = max(self._next_send_time, now) + 1.0 / rate
+            if self._in_recovery:
+                self._recovery_budget -= 1.0
+            if retx_seq is not None:
+                heapq.heappop(self._lost_heap)
+                self._lost_set.discard(retx_seq)
+                self._retx_out[retx_seq] = now
+                self.retransmits += 1
+                self._transmit(retx_seq, retransmit=True)
+            else:
+                seq = self.snd_nxt
+                self.snd_nxt += 1
+                self._transmit(seq, retransmit=False)
+            if self._rto_timer is None:
+                self._restart_rto_timer()
+            if self._tlp_timer is None:
+                self._rearm_tlp_timer()
+
+    def _may_send_new(self) -> bool:
+        return self._total is None or self.snd_nxt < self._total
+
+    def _transmit(self, seq: int, *, retransmit: bool) -> None:
+        now = self._sim.now
+        self.packets_sent += 1
+        self._send_info[seq] = (
+            now,
+            self._delivered,
+            self._delivered_time,
+            retransmit,
+        )
+        packet = Packet.data(
+            self.flow,
+            seq,
+            now,
+            size=self._mss,
+            retransmit=retransmit,
+            ecn_capable=self.ecn,
+        )
+        self._egress.receive(packet)
+
+    def _arm_pacing_timer(self) -> None:
+        if self._pacing_timer is not None:
+            return
+        self._pacing_timer = self._sim.schedule_at(
+            max(self._next_send_time, self._sim.now), self._on_pacing_timer
+        )
+
+    def _on_pacing_timer(self) -> None:
+        self._pacing_timer = None
+        self._try_send()
+
+    # ------------------------------------------------------------------
+    # Delivery-rate sampling (BBR)
+    # ------------------------------------------------------------------
+
+    def _take_rate_sample(self, ack: int, now: float) -> float | None:
+        if not self.cc.needs_rate_samples:
+            return None
+        info = self._send_info.get(ack - 1)
+        if len(self._send_info) > 4 * max(int(self.cc.cwnd), 256):
+            self._send_info = {
+                s: v for s, v in self._send_info.items() if s >= ack
+            }
+        if info is None:
+            return None
+        _sent, delivered_at_send, delivered_time_at_send, retransmit = info
+        if retransmit:
+            return None
+        interval = now - delivered_time_at_send
+        if interval <= 0:
+            return None
+        return (self._delivered - delivered_at_send) / interval
+
+    # ------------------------------------------------------------------
+    # RTO machinery
+    # ------------------------------------------------------------------
+
+    def _update_rto(self, rtt: float) -> None:
+        if self._srtt is None:
+            self._srtt = rtt
+            self._rttvar = rtt / 2.0
+        else:
+            self._rttvar = 0.75 * self._rttvar + 0.25 * abs(self._srtt - rtt)
+            self._srtt = 0.875 * self._srtt + 0.125 * rtt
+        self._rto = min(
+            max(self._srtt + 4.0 * self._rttvar, _MIN_RTO), _MAX_RTO
+        )
+
+    def _rearm_tlp_timer(self) -> None:
+        if self._srtt is None:
+            return
+        if self._tlp_timer is not None:
+            self._tlp_timer.cancel()
+        # Linux arms the loss probe in place of the RTO, so the probe always
+        # fires first and the RTO remains the backstop behind it.
+        pto = max(min(_TLP_SRTT_FACTOR * self._srtt, 0.9 * self._rto), 1e-3)
+        self._tlp_timer = self._sim.schedule(pto, self._on_tlp)
+
+    def _on_tlp(self) -> None:
+        self._tlp_timer = None
+        if self.done or self.snd_nxt <= self.snd_una:
+            return
+        # Probe with the highest-sequenced un-SACKed outstanding packet;
+        # its (S)ACK rearms the scoreboard.  Sent outside the cwnd check —
+        # it's a probe.  One probe per quiet period (rearmed by ACKs).
+        probe = None
+        for seq in range(self.snd_nxt - 1, self.snd_una - 1, -1):
+            if seq not in self._sacked:
+                probe = seq
+                break
+        if probe is None:
+            return
+        self.tlp_probes += 1
+        self._lost_set.discard(probe)
+        self._retx_out[probe] = self._sim.now
+        self._transmit(probe, retransmit=True)
+        # Give the probe a full RTO to report back before the backstop
+        # fires (Linux rearms the retransmission timer at probe send).
+        self._restart_rto_timer()
+
+    def _restart_rto_timer(self) -> None:
+        self._cancel_rto_timer()
+        if self.snd_nxt > self.snd_una:
+            self._rto_timer = self._sim.schedule(self._rto, self._on_rto)
+
+    def _cancel_rto_timer(self) -> None:
+        if self._rto_timer is not None:
+            self._rto_timer.cancel()
+            self._rto_timer = None
+
+    def _on_rto(self) -> None:
+        self._rto_timer = None
+        if self.done or self.snd_nxt <= self.snd_una:
+            return
+        now = self._sim.now
+        self.timeouts += 1
+        self._in_recovery = False
+        # RFC 5681: ssthresh is based on FlightSize (all outstanding data),
+        # not the loss-adjusted pipe — repeated RTOs while the flight stays
+        # outstanding must not grind ssthresh down to the minimum.
+        flight = self.snd_nxt - self.snd_una
+        self.cc.on_timeout(now, flight)
+        self._rto = min(self._rto * 2.0, _MAX_RTO)
+        # Everything outstanding and un-SACKed is presumed lost; the send
+        # loop retransmits it under the collapsed window, oldest first.
+        self._retx_out.clear()
+        for seq in range(self.snd_una, self.snd_nxt):
+            if seq not in self._sacked and seq not in self._lost_set:
+                self._lost_set.add(seq)
+                heapq.heappush(self._lost_heap, seq)
+        self._restart_rto_timer()
+        self._try_send()
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+
+    def _complete(self, now: float) -> None:
+        self.completed_at = now
+        self._cancel_rto_timer()
+        if self._tlp_timer is not None:
+            self._tlp_timer.cancel()
+            self._tlp_timer = None
+        if self._pacing_timer is not None:
+            self._pacing_timer.cancel()
+            self._pacing_timer = None
+        self._send_info.clear()
+        self._sacked.clear()
+        self._lost_set.clear()
+        self._lost_heap.clear()
+        self._retx_out.clear()
+        if self._on_complete is not None:
+            self._on_complete(self, now)
+
+
+class TcpReceiver:
+    """One flow's receiver: cumulative ACKs plus SACK blocks.
+
+    Out-of-order data is tracked as disjoint ``[start, end)`` ranges; each
+    ACK reports the lowest three (enough for the sender's scoreboard, like
+    the 3-block SACK option of real TCP).
+    """
+
+    #: Maximum SACK ranges advertised per ACK.
+    MAX_SACK_RANGES = 3
+
+    def __init__(self, sim: Simulator, ack_path: PacketSink) -> None:
+        self._sim = sim
+        self._ack_path = ack_path
+        self.rcv_nxt = 0
+        self._ranges: list[list[int]] = []  # disjoint, sorted [start, end)
+        self.data_packets = 0
+        self.data_bytes = 0
+        self.duplicates = 0
+
+    @property
+    def sack_ranges(self) -> tuple[tuple[int, int], ...]:
+        """Current out-of-order ranges (for tests)."""
+        return tuple((r[0], r[1]) for r in self._ranges)
+
+    def receive(self, packet: Packet) -> None:
+        if not packet.is_data:
+            return
+        self.data_packets += 1
+        self.data_bytes += packet.size
+        seq = packet.seq
+        if seq == self.rcv_nxt:
+            self.rcv_nxt += 1
+            if self._ranges and self._ranges[0][0] == self.rcv_nxt:
+                self.rcv_nxt = self._ranges.pop(0)[1]
+        elif seq > self.rcv_nxt:
+            self._insert(seq)
+        else:
+            self.duplicates += 1
+        ack = Packet.ack(
+            packet.flow,
+            self.rcv_nxt,
+            self._sim.now,
+            echo_ts=packet.sent_at,
+            echo_retransmit=packet.retransmit,
+            sack=self._sack_blocks(seq),
+            ecn_echo=packet.ce,
+        )
+        self._ack_path.receive(ack)
+
+    def _sack_blocks(self, seq: int) -> tuple[tuple[int, int], ...]:
+        """Up to three SACK blocks, the one containing the segment that
+        triggered this ACK first (RFC 2018 — without this, a sender draining
+        a large loss episode cannot see that later ACKs report progress)."""
+        ranges = self._ranges
+        if not ranges:
+            return ()
+        triggering = None
+        for r in ranges:
+            if r[0] <= seq < r[1]:
+                triggering = r
+                break
+        blocks: list[tuple[int, int]] = []
+        if triggering is not None:
+            blocks.append((triggering[0], triggering[1]))
+        for r in ranges:
+            if len(blocks) >= self.MAX_SACK_RANGES:
+                break
+            if r is not triggering:
+                blocks.append((r[0], r[1]))
+        return tuple(blocks)
+
+    def _insert(self, seq: int) -> None:
+        """Insert ``seq`` into the disjoint range list, merging neighbours."""
+        import bisect
+
+        ranges = self._ranges
+        i = bisect.bisect_right(ranges, seq, key=lambda r: r[0])
+        # Check the range before (could contain or abut seq).
+        if i > 0:
+            prev = ranges[i - 1]
+            if seq < prev[1]:
+                self.duplicates += 1
+                return
+            if seq == prev[1]:
+                prev[1] += 1
+                if i < len(ranges) and ranges[i][0] == prev[1]:
+                    prev[1] = ranges[i][1]
+                    del ranges[i]
+                return
+        if i < len(ranges) and ranges[i][0] == seq + 1:
+            ranges[i][0] = seq
+            return
+        ranges.insert(i, [seq, seq + 1])
+
+
+class FlowDemux:
+    """Routes packets to per-flow sinks by :class:`FlowId`."""
+
+    def __init__(self) -> None:
+        self._sinks: dict[FlowId, PacketSink] = {}
+        self.unroutable = 0
+
+    def register(self, flow: FlowId, sink: PacketSink) -> None:
+        """Route ``flow``'s packets to ``sink`` (later wins)."""
+        self._sinks[flow] = sink
+
+    def unregister(self, flow: FlowId) -> None:
+        """Stop routing ``flow``; unknown flows are ignored."""
+        self._sinks.pop(flow, None)
+
+    def receive(self, packet: Packet) -> None:
+        sink = self._sinks.get(packet.flow)
+        if sink is None:
+            self.unroutable += 1
+            return
+        sink.receive(packet)

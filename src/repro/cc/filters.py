@@ -1,0 +1,68 @@
+"""Windowed min/max filters used by BBR's bandwidth and RTT estimators."""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class WindowedExtremum:
+    """Tracks the extremum of (time, value) samples inside a sliding window.
+
+    A monotonic deque gives O(1) amortized updates.  ``sign=+1`` tracks the
+    maximum (bottleneck bandwidth), ``sign=-1`` the minimum (RTprop).
+    """
+
+    def __init__(self, window: float, *, sign: int = 1) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window!r}")
+        if sign not in (1, -1):
+            raise ValueError("sign must be +1 (max) or -1 (min)")
+        self._window = window
+        self._sign = sign
+        self._samples: deque[tuple[float, float]] = deque()
+
+    def update(self, now: float, value: float) -> None:
+        """Insert a sample and expire ones older than the window."""
+        key = self._sign * value
+        samples = self._samples
+        while samples and self._sign * samples[-1][1] <= key:
+            samples.pop()
+        samples.append((now, value))
+        self._expire(now)
+
+    def get(self, now: float | None = None) -> float | None:
+        """Current extremum, or ``None`` if the window is empty."""
+        if now is not None:
+            self._expire(now)
+        if not self._samples:
+            return None
+        return self._samples[0][1]
+
+    def age(self, now: float) -> float | None:
+        """Age of the current extremum sample, or ``None`` if empty."""
+        if not self._samples:
+            return None
+        return now - self._samples[0][0]
+
+    def reset(self) -> None:
+        """Forget all samples."""
+        self._samples.clear()
+
+    def _expire(self, now: float) -> None:
+        samples = self._samples
+        while samples and samples[0][0] < now - self._window:
+            samples.popleft()
+
+
+class WindowedMax(WindowedExtremum):
+    """Sliding-window maximum."""
+
+    def __init__(self, window: float) -> None:
+        super().__init__(window, sign=1)
+
+
+class WindowedMin(WindowedExtremum):
+    """Sliding-window minimum."""
+
+    def __init__(self, window: float) -> None:
+        super().__init__(window, sign=-1)

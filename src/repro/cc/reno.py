@@ -1,0 +1,25 @@
+"""TCP New Reno congestion control (RFC 5681/6582 core dynamics).
+
+Reno is the protocol the paper's sizing analysis (Appendix A) is built on:
+additive increase of one packet per RTT, multiplicative decrease by half.
+"""
+
+from __future__ import annotations
+
+from repro.cc.base import AckSample, CongestionControl
+
+
+class NewReno(CongestionControl):
+    """Classic AIMD: slow start, then +1 MSS per RTT; halve on loss."""
+
+    name = "reno"
+
+    def on_ack(self, sample: AckSample) -> None:
+        if self.cwnd < self.ssthresh:
+            # Slow start: +1 packet per newly acked packet, not beyond
+            # ssthresh (RFC 5681 §3.1).
+            self.cwnd = min(self.cwnd + sample.newly_acked, self.ssthresh)
+            if self.cwnd < self.ssthresh:
+                return
+            # Fall through into congestion avoidance for any remainder.
+        self.cwnd += sample.newly_acked / self.cwnd

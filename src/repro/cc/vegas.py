@@ -1,0 +1,64 @@
+"""TCP Vegas congestion control (delay-based).
+
+Vegas keeps ``alpha..beta`` packets of standing queue.  Against a *policer*
+or phantom queue there is no queueing delay signal at all, so Vegas keeps
+additively increasing until packets are dropped — exactly the behaviour
+that makes per-flow fairness across CC algorithms hard and motivates the
+paper's per-flow queues.
+"""
+
+from __future__ import annotations
+
+from repro.cc.base import AckSample, CongestionControl
+
+
+class Vegas(CongestionControl):
+    """Vegas: target ``alpha``..``beta`` packets queued in the network."""
+
+    name = "vegas"
+
+    ALPHA = 2.0
+    BETA = 4.0
+    GAMMA = 1.0
+
+    def __init__(self, *, initial_cwnd: float = 10.0) -> None:
+        super().__init__(initial_cwnd=initial_cwnd)
+        self._base_rtt = float("inf")
+        self._min_rtt_round = float("inf")
+        self._round_left = int(self.cwnd)
+        self._grow_this_round = True
+
+    def on_ack(self, sample: AckSample) -> None:
+        if sample.rtt is not None:
+            self._base_rtt = min(self._base_rtt, sample.rtt)
+            self._min_rtt_round = min(self._min_rtt_round, sample.rtt)
+        self._round_left -= sample.newly_acked
+        if self._round_left > 0:
+            return
+        self._end_of_round()
+
+    def _end_of_round(self) -> None:
+        rtt = self._min_rtt_round
+        self._min_rtt_round = float("inf")
+        if rtt == float("inf") or self._base_rtt == float("inf"):
+            self._round_left = max(int(self.cwnd), 1)
+            return
+        # Packets held in network queues: cwnd * (rtt - baseRTT) / rtt.
+        diff = self.cwnd * (rtt - self._base_rtt) / rtt
+        if self.cwnd < self.ssthresh:
+            # Vegas slow start: double every *other* round while the queue
+            # estimate stays under gamma.
+            if diff > self.GAMMA:
+                self.ssthresh = self.cwnd
+            elif self._grow_this_round:
+                self.cwnd *= 2.0
+            self._grow_this_round = not self._grow_this_round
+        elif diff < self.ALPHA:
+            self.cwnd += 1.0
+        elif diff > self.BETA:
+            self.cwnd = max(self.cwnd - 1.0, self.MIN_CWND)
+        self._round_left = max(int(self.cwnd), 1)
+
+    def on_loss_event(self, now: float, inflight: float) -> None:
+        super().on_loss_event(now, inflight)
+        self._round_left = max(int(self.cwnd), 1)

@@ -1,0 +1,15 @@
+"""Flow-to-queue classification (§3.2: per-flow queues or hashed queues)."""
+
+from repro.classify.classifier import (
+    FlowClassifier,
+    HashClassifier,
+    SingleQueueClassifier,
+    SlotClassifier,
+)
+
+__all__ = [
+    "FlowClassifier",
+    "HashClassifier",
+    "SingleQueueClassifier",
+    "SlotClassifier",
+]

@@ -1,0 +1,29 @@
+"""The paper's contribution: phantom-queue policing.
+
+* :class:`PhantomQueueSet` — N byte-counter queues drained lazily under a
+  fluid (GPS) realization of the policy tree (§3.1–§3.2).
+* :class:`PQP` — the phantom-queue policer (§3).
+* :class:`BCPQP` — burst-controlled PQP with magic-packet fill/reclaim (§4).
+* :mod:`repro.core.sizing` — phantom-queue and policer bucket sizing rules
+  (§3.5, Appendix A).
+"""
+
+from repro.core.bcpqp import BCPQP
+from repro.core.phantom import PhantomQueueSet
+from repro.core.pqp import PQP
+from repro.core.sizing import (
+    bcpqp_default_buffer,
+    cubic_min_bucket,
+    reno_min_phantom_buffer,
+    reno_steady_rate_bounds,
+)
+
+__all__ = [
+    "BCPQP",
+    "PQP",
+    "PhantomQueueSet",
+    "bcpqp_default_buffer",
+    "cubic_min_bucket",
+    "reno_min_phantom_buffer",
+    "reno_steady_rate_bounds",
+]

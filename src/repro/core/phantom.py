@@ -1,0 +1,240 @@
+"""Phantom queues: simulated buffer occupancy held as byte counters.
+
+A phantom queue never stores packets — its length is a float byte counter
+incremented on (accepted) packet arrival and drained at the policy-assigned
+service rate.  Draining is *lazy*: counters are brought up to date when the
+next packet arrives (§3.1: "phantom dequeues can be batched").
+
+Two service disciplines are provided:
+
+* ``fluid`` (default) — a piecewise-linear GPS process: within each linear
+  piece the set of occupied queues is constant, so the policy tree's
+  instantaneous shares apply; a piece ends when some queue empties, at
+  which point shares are recomputed (work conservation).
+* ``quantum`` — the paper's literal mechanism: batched dequeues of
+  MSS-sized phantom packets picked by the hierarchical deficit-round-robin
+  scheduler (§3.2 "dequeue phantom packets from the occupied phantom
+  queues in a round-robin manner").  Byte-for-byte this converges to the
+  fluid shares (property-tested); it exists as an ablation of the
+  idealization.
+"""
+
+from __future__ import annotations
+
+from repro.policy.tree import Policy
+from repro.sched.drr import HierarchicalDrrScheduler
+from repro.units import MSS
+
+#: Counters below this many bytes are treated as empty (float hygiene).
+_EPSILON = 1e-6
+
+
+class PhantomQueueSet:
+    """N phantom queues served at cumulative ``rate`` under ``policy``.
+
+    All mutating entry points take an explicit ``now``; the caller (PQP /
+    BC-PQP) advances the fluid drain before inspecting occupancy.
+
+    ``magic`` tracks the portion of each queue's length that is *magic*
+    bytes (BC-PQP's vacuous fill, §4).  Magic bytes drain with everything
+    else; as a queue drains below its magic watermark the watermark is
+    clamped down (paper footnote 5: reclaiming may find fewer magic bytes
+    than were added).
+    """
+
+    #: Supported service disciplines.
+    SERVICES = ("fluid", "quantum")
+
+    def __init__(
+        self,
+        policy: Policy,
+        rate: float,
+        capacities: list[float],
+        *,
+        start_time: float = 0.0,
+        service: str = "fluid",
+        quantum: float = MSS,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate!r}")
+        if service not in self.SERVICES:
+            raise ValueError(
+                f"unknown service {service!r}; choose from {self.SERVICES}"
+            )
+        if quantum <= 0:
+            raise ValueError(f"quantum must be positive, got {quantum!r}")
+        n = policy.num_queues
+        if len(capacities) != n:
+            raise ValueError(f"need {n} capacities, got {len(capacities)}")
+        if any(c <= 0 for c in capacities):
+            raise ValueError("capacities must be positive")
+        self._policy = policy
+        self._rate = rate
+        self._capacity = [float(c) for c in capacities]
+        self._length = [0.0] * n
+        self._magic = [0.0] * n
+        self._clock = start_time
+        self.service = service
+        self._quantum = float(quantum)
+        self._drr: HierarchicalDrrScheduler | None = (
+            HierarchicalDrrScheduler(policy, quantum=quantum)
+            if service == "quantum"
+            else None
+        )
+        #: Unspent service budget carried between quantum drains, bytes.
+        self._budget = 0.0
+        #: Fluid-piece recomputations / DRR dequeues, for the cost model.
+        self.drain_recomputes = 0
+        #: Total bytes drained so far (real + magic).
+        self.drained_bytes = 0.0
+
+    @property
+    def num_queues(self) -> int:
+        """Number of phantom queues."""
+        return self._policy.num_queues
+
+    @property
+    def rate(self) -> float:
+        """Cumulative phantom service rate, bytes/second."""
+        return self._rate
+
+    @property
+    def policy(self) -> Policy:
+        """The sharing policy tree."""
+        return self._policy
+
+    def capacity(self, queue: int) -> float:
+        """Simulated buffer size of ``queue`` in bytes."""
+        return self._capacity[queue]
+
+    def length(self, queue: int) -> float:
+        """Current phantom occupancy of ``queue`` (advance first!)."""
+        return self._length[queue]
+
+    def magic_bytes(self, queue: int) -> float:
+        """Current magic-byte watermark of ``queue``."""
+        return self._magic[queue]
+
+    def remaining(self, queue: int) -> float:
+        """Free capacity of ``queue`` in bytes."""
+        return self._capacity[queue] - self._length[queue]
+
+    def active_flags(self) -> list[bool]:
+        """Occupancy flags used for policy share computation."""
+        return [length > _EPSILON for length in self._length]
+
+    def total_length(self) -> float:
+        """Total phantom bytes across all queues."""
+        return sum(self._length)
+
+    # ------------------------------------------------------------------
+    # Fluid drain
+    # ------------------------------------------------------------------
+
+    def advance(self, now: float) -> None:
+        """Drain the service process up to time ``now``."""
+        if now < self._clock:
+            raise ValueError(
+                f"time went backwards: {now!r} < {self._clock!r}"
+            )
+        if self._drr is not None:
+            self._advance_quantum(now)
+            return
+        lengths = self._length
+        while now > self._clock:
+            active = [length > _EPSILON for length in lengths]
+            if not any(active):
+                self._clock = now
+                break
+            rates = self._policy.fluid_rates(active, self._rate)
+            self.drain_recomputes += 1
+            # The current linear piece ends when a served queue empties.
+            horizon = now - self._clock
+            dt = horizon
+            for i, ri in enumerate(rates):
+                if ri > 0:
+                    t_empty = lengths[i] / ri
+                    if t_empty < dt:
+                        dt = t_empty
+            for i, ri in enumerate(rates):
+                if ri > 0:
+                    drained = ri * dt
+                    lengths[i] -= drained
+                    self.drained_bytes += drained
+                    if lengths[i] < _EPSILON:
+                        lengths[i] = 0.0
+                    if self._magic[i] > lengths[i]:
+                        self._magic[i] = lengths[i]
+            self._clock += dt
+        self._clock = max(self._clock, now)
+
+    def _advance_quantum(self, now: float) -> None:
+        """Batched DRR dequeues: spend ``rate x dt`` bytes of service in
+        scheduler-ordered phantom-packet units (the paper's §3.1 "phantom
+        dequeues can be batched and done only when the queue becomes
+        full")."""
+        lengths = self._length
+        self._budget += self._rate * (now - self._clock)
+        self._clock = now
+        if not any(length > _EPSILON for length in lengths):
+            # A policer accrues no service while idle: it has no tokens
+            # beyond the queue capacities themselves.
+            self._budget = 0.0
+            return
+        drr = self._drr
+        assert drr is not None
+        while self._budget > _EPSILON:
+            heads = [
+                min(self._quantum, length) if length > _EPSILON else None
+                for length in lengths
+            ]
+            queue = drr.select(heads)
+            if queue is None:
+                self._budget = 0.0
+                return
+            size = min(heads[queue], self._budget)  # type: ignore[arg-type]
+            if size <= _EPSILON:
+                return
+            drr.charge(size)
+            lengths[queue] -= size
+            self.drained_bytes += size
+            self._budget -= size
+            self.drain_recomputes += 1
+            if lengths[queue] < _EPSILON:
+                lengths[queue] = 0.0
+            if self._magic[queue] > lengths[queue]:
+                self._magic[queue] = lengths[queue]
+
+    # ------------------------------------------------------------------
+    # Enqueue / magic manipulation (callers advance() first)
+    # ------------------------------------------------------------------
+
+    def try_enqueue(self, queue: int, size: float) -> bool:
+        """Enqueue ``size`` phantom bytes if they fit; return success."""
+        if self._length[queue] + size <= self._capacity[queue] + _EPSILON:
+            self._length[queue] += size
+            return True
+        return False
+
+    def fill_with_magic(self, queue: int) -> float:
+        """Fill ``queue`` to capacity with magic bytes; return bytes added."""
+        added = self._capacity[queue] - self._length[queue]
+        if added > 0:
+            self._length[queue] = self._capacity[queue]
+            self._magic[queue] += added
+            return added
+        return 0.0
+
+    def reclaim_magic(self, queue: int) -> float:
+        """Remove all (remaining) magic bytes from ``queue``."""
+        reclaimable = min(self._magic[queue], self._length[queue])
+        if reclaimable > 0:
+            self._length[queue] -= reclaimable
+            if self._length[queue] < _EPSILON:
+                self._length[queue] = 0.0
+        self._magic[queue] = 0.0
+        return reclaimable
+
+    def fluid_rates(self) -> list[float]:
+        """Current per-queue phantom service rates (after an advance)."""
+        return self._policy.fluid_rates(self.active_flags(), self._rate)

@@ -1,0 +1,119 @@
+"""PQP: the phantom-queue policer (§3).
+
+An arriving packet is classified to a phantom queue; if the queue has
+capacity for the packet's size (after applying pending phantom dequeues)
+the real packet is forwarded immediately and a phantom copy enqueued,
+otherwise it is dropped.  No packets are buffered; no dequeue timers run.
+"""
+
+from __future__ import annotations
+
+from repro.classify.classifier import FlowClassifier
+from repro.core.phantom import PhantomQueueSet
+from repro.limiters.base import RateLimiter
+from repro.limiters.costs import Op
+from repro.net.packet import Packet
+from repro.policy.tree import Policy
+from repro.sim.simulator import Simulator
+
+
+class PQP(RateLimiter):
+    """Policer with multiple phantom queues.
+
+    Parameters
+    ----------
+    rate:
+        Cumulative enforced rate, bytes/second.
+    policy:
+        Rate-sharing policy across phantom queues.
+    classifier:
+        Flow-to-queue mapping; must cover ``policy.num_queues``.
+    queue_bytes:
+        Phantom buffer size per queue — either a scalar applied to every
+        queue or a per-queue list.  §3.5: must be at least the Reno
+        requirement ``BDP^2/18 x MSS`` for correct steady-state rates.
+    service:
+        Phantom service discipline: ``"fluid"`` (GPS idealization, the
+        default) or ``"quantum"`` (batched DRR dequeues, the paper's
+        literal mechanism) — see :class:`~repro.core.phantom.PhantomQueueSet`.
+    ecn_mark_fraction:
+        Optional AQM extension (§3.3 permits arrival-time AQM on phantom
+        queues): ECN-capable packets accepted while the queue occupancy
+        exceeds this fraction of capacity are CE-marked instead of waiting
+        for tail drops — early congestion signals without packet loss.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        *,
+        rate: float,
+        policy: Policy,
+        classifier: FlowClassifier,
+        queue_bytes: float | list[float],
+        service: str = "fluid",
+        ecn_mark_fraction: float | None = None,
+        name: str = "pqp",
+    ) -> None:
+        super().__init__(sim, name=name)
+        if classifier.num_queues != policy.num_queues:
+            raise ValueError(
+                f"classifier has {classifier.num_queues} queues but policy "
+                f"covers {policy.num_queues}"
+            )
+        if isinstance(queue_bytes, (int, float)):
+            capacities = [float(queue_bytes)] * policy.num_queues
+        else:
+            capacities = [float(b) for b in queue_bytes]
+        if ecn_mark_fraction is not None and not 0 < ecn_mark_fraction <= 1:
+            raise ValueError(
+                f"ecn_mark_fraction must be in (0, 1], got {ecn_mark_fraction!r}"
+            )
+        self._classifier = classifier
+        self._ecn_mark_fraction = ecn_mark_fraction
+        self.ecn_marked_packets = 0
+        self.queues = PhantomQueueSet(
+            policy, rate, capacities, start_time=sim.now, service=service
+        )
+
+    @property
+    def rate(self) -> float:
+        """Enforced aggregate rate in bytes/second."""
+        return self.queues.rate
+
+    @property
+    def num_queues(self) -> int:
+        """Number of phantom queues."""
+        return self.queues.num_queues
+
+    def _on_packet(self, packet: Packet) -> None:
+        now = self._sim.now
+        qi = self._classifier.queue_of(packet.flow)
+        self.cost.charge(Op.MAP, 1)  # classification
+        before = self.queues.drain_recomputes
+        self.queues.advance(now)
+        # Counter updates: lazy drain recomputes (amortized) + occupancy
+        # check + enqueue increment.  All cache-resident counters.
+        self.cost.charge(Op.ALU, 3 + 2 * (self.queues.drain_recomputes - before))
+        self._arrived(qi, packet, now)
+        if self.queues.try_enqueue(qi, packet.size):
+            self._accepted(qi, packet, now)
+            if (
+                self._ecn_mark_fraction is not None
+                and packet.ecn_capable
+                and self.queues.length(qi)
+                > self._ecn_mark_fraction * self.queues.capacity(qi)
+            ):
+                packet.ce = True
+                self.ecn_marked_packets += 1
+            self._forward(packet)
+        else:
+            self._drop(packet, queue=qi)
+
+    def _arrived(self, queue: int, packet: Packet, now: float) -> None:
+        """Hook: every arrival, accepted or not (BC-PQP's idle detection)."""
+        del queue, packet, now
+
+    def _accepted(self, queue: int, packet: Packet, now: float) -> None:
+        """Hook for subclasses (BC-PQP's window accounting)."""
+        del queue, packet, now

@@ -1,0 +1,132 @@
+"""Queue/bucket sizing rules (§3.5 and Appendix A).
+
+The central result: to keep a *phantom* queue occupied, a backlogged Reno
+flow needs a buffer of at least ``BDP^2/18 x MSS`` bytes (where BDP is in
+packets), versus the classic ``O(BDP)`` rule for real queues.  The reason
+is that a phantom queue adds no queueing delay, so ACKs return in one base
+RTT and the queue absorbs ``cwnd - BDP`` new packets per round instead of
+one.
+
+Also provided: the Reno steady-state rate oscillation bounds (2r/3..4r/3)
+that motivate BC-PQP's default thresholds, and a numeric Cubic bucket
+requirement used when sizing Policer+/FairPolicer ("pick the max of the
+New Reno and Cubic requirements", §6.1).
+"""
+
+from __future__ import annotations
+
+from repro.units import MSS, bdp_packets
+
+
+def reno_steady_rate_bounds(rate: float) -> tuple[float, float]:
+    """Reno's steady-state instantaneous rate oscillation ``(2r/3, 4r/3)``.
+
+    Appendix A: with cwnd sawtoothing between ``c_l = 2BDP/3`` and
+    ``c_h = 4BDP/3``, the per-RTT rate swings across these bounds while the
+    long-run average stays at ``rate``.
+    """
+    return (2.0 * rate / 3.0, 4.0 * rate / 3.0)
+
+
+def reno_min_phantom_buffer(rate: float, rtt: float, mss: int = MSS) -> float:
+    """Minimum phantom-queue size (bytes) for a backlogged Reno flow.
+
+    Appendix A: ``B >= BDP^2 / 18`` packets, i.e. ``BDP^2/18 x MSS`` bytes,
+    with BDP measured in packets (``rate x rtt / mss``).
+
+    >>> from repro.units import mbps, ms
+    >>> round(reno_min_phantom_buffer(mbps(10), ms(100)) / 1e3)  # ~1000 KB
+    1002
+    """
+    bdp = bdp_packets(rate, rtt, mss)
+    return (bdp * bdp / 18.0) * mss
+
+
+def reno_min_policer_bucket(rate: float, rtt: float, mss: int = MSS) -> float:
+    """Token-bucket size (bytes) for correct Reno rate enforcement.
+
+    A TBF is a single phantom queue (§3.1), so the requirement coincides
+    with :func:`reno_min_phantom_buffer` — the ``O(BDP^2)`` sizing that
+    van Haalen & Malhotra converge to iteratively.
+    """
+    return reno_min_phantom_buffer(rate, rtt, mss)
+
+
+def cubic_min_bucket(
+    rate: float,
+    rtt: float,
+    mss: int = MSS,
+    *,
+    beta: float = 0.7,
+    c: float = 0.4,
+    dt: float = 1e-3,
+) -> float:
+    """Bucket/phantom-buffer size (bytes) needed by a backlogged Cubic flow.
+
+    Computed numerically: find the Cubic sawtooth (window from
+    ``beta x W_max`` back up to ``W_max`` along ``W(t) = C(t-K)^3 + W_max``)
+    whose long-run average throughput equals ``rate``, then integrate the
+    excess of the instantaneous send rate over the drain rate; the peak of
+    that integral is the buffer the policer must absorb.
+
+    Because Cubic's growth is a function of wall-clock time (not RTT), the
+    requirement exceeds Reno's at small ``rate x rtt`` and falls below it at
+    large — the crossover §6.1 mentions when sizing FP/Policer+.
+    """
+    bdp = max(bdp_packets(rate, rtt, mss), 1.0)
+
+    def cycle_stats(w_max: float) -> tuple[float, float]:
+        """(average window, peak buffered packets) over one sawtooth."""
+        k = ((w_max * (1.0 - beta)) / c) ** (1.0 / 3.0)
+        t = 0.0
+        area = 0.0
+        buffered = 0.0
+        peak = 0.0
+        while True:
+            w = c * (t - k) ** 3 + w_max
+            area += w * dt
+            # Sending w packets per RTT while draining bdp per RTT.
+            buffered = max(buffered + (w - bdp) * dt / rtt, 0.0)
+            peak = max(peak, buffered)
+            if t > k and w >= w_max:
+                break
+            t += dt
+            if t > 120.0:  # pathological parameters; stop integrating
+                break
+        avg_w = area / max(t, dt)
+        return avg_w, peak
+
+    # Bisect W_max so the average window matches the BDP (=> average
+    # throughput matches the enforced rate).
+    lo, hi = bdp, 4.0 * bdp + 10.0
+    for _ in range(40):
+        mid = (lo + hi) / 2.0
+        avg_w, _ = cycle_stats(mid)
+        if avg_w < bdp:
+            lo = mid
+        else:
+            hi = mid
+    _, peak = cycle_stats((lo + hi) / 2.0)
+    return max(peak, 1.0) * mss
+
+
+def policer_plus_bucket(rate: float, max_rtt: float, mss: int = MSS) -> float:
+    """Bucket size for "Policer+"/FairPolicer in §6.1: the max of the New
+    Reno and Cubic requirements at the worst-case (largest) RTT."""
+    return max(
+        reno_min_policer_bucket(rate, max_rtt, mss),
+        cubic_min_bucket(rate, max_rtt, mss),
+    )
+
+
+def bcpqp_default_buffer(
+    rate: float, max_rtt: float, mss: int = MSS, *, headroom: float = 10.0
+) -> float:
+    """The paper's BC-PQP sizing: "a very high value of at least
+    10 x O(BDP^2)" — burst control makes the exact value irrelevant (§4)."""
+    return headroom * reno_min_phantom_buffer(rate, max_rtt, mss)
+
+
+def bdp_bucket(rate: float, rtt: float) -> float:
+    """Classic BDP-sized bucket (bytes) — the §6.1 "Policer" baseline."""
+    return rate * rtt

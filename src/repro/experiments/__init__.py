@@ -1,0 +1,14 @@
+"""Experiment harness: one module per figure of the paper's evaluation.
+
+Every module exposes a ``Config`` dataclass (with a scaled-down default
+that completes in seconds-to-minutes on one core and a ``scale`` knob to
+approach the paper's full configuration), a ``run(config)`` function
+returning structured results, and a ``main()`` that prints the table/series
+the paper's figure reports.  Run any of them directly::
+
+    python -m repro.experiments.fig2_sizing
+    python -m repro.experiments.fig4_rate_enforcement --scale 2
+
+The per-figure index lives in DESIGN.md; measured-vs-paper numbers are
+recorded in EXPERIMENTS.md.
+"""

@@ -1,0 +1,55 @@
+"""Run every experiment in sequence: ``python -m repro.experiments``.
+
+Prints each figure's tables back to back — the full evaluation section of
+the paper, regenerated (at the documented scaled-down defaults; individual
+modules accept richer configs when run directly).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments import (
+    appendix_a,
+    ext_ecn,
+    ext_hash_classification,
+    fig1_motivation,
+    fig2_sizing,
+    fig3_secondary_bottleneck,
+    fig4_rate_enforcement,
+    fig5_efficiency,
+    fig6_policy,
+    fig7_applications,
+    fig9_video_timeseries,
+)
+
+_MODULES = (
+    ("Figure 1", fig1_motivation),
+    ("Figure 2", fig2_sizing),
+    ("Figure 3", fig3_secondary_bottleneck),
+    ("Figure 4", fig4_rate_enforcement),
+    ("Figure 5", fig5_efficiency),
+    ("Figure 6", fig6_policy),
+    ("Figure 7", fig7_applications),
+    ("Figure 9", fig9_video_timeseries),
+    ("Appendix A", appendix_a),
+    ("Extension: ECN", ext_ecn),
+    ("Extension: hashed classification", ext_hash_classification),
+)
+
+
+def main() -> None:
+    """Run all experiments, timing each."""
+    grand_start = time.time()
+    for label, module in _MODULES:
+        print("=" * 72)
+        start = time.time()
+        module.main()
+        print(f"[{label} done in {time.time() - start:.1f} s]")
+        print()
+    print("=" * 72)
+    print(f"All experiments completed in {time.time() - grand_start:.1f} s.")
+
+
+if __name__ == "__main__":
+    main()

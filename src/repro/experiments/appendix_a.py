@@ -1,0 +1,104 @@
+"""Appendix A: empirical check of the Reno phantom-buffer bound.
+
+For several (rate, RTT) points, sweep the phantom-buffer size around the
+analytic minimum ``BDP^2/18 x MSS`` and verify the knee: buffers below the
+bound under-enforce, buffers at/above it achieve the rate.  Also checks
+the steady-state rate oscillation stays within roughly [2r/3, 4r/3].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.sizing import reno_min_phantom_buffer, reno_steady_rate_bounds
+from repro.experiments.common import print_table, run_aggregate
+from repro.metrics.stats import percentile
+from repro.units import mbps, ms, to_mbps
+from repro.workload.spec import FlowSpec
+
+
+@dataclass
+class Config:
+    """Sweep grid (kept small; each point is a full TCP simulation)."""
+
+    points: tuple[tuple[float, float], ...] = (
+        (mbps(10), ms(100)),
+        (mbps(25), ms(50)),
+        (mbps(5), ms(80)),
+    )
+    #: Buffer sizes as multiples of the analytic minimum.
+    multipliers: tuple[float, ...] = (0.25, 0.5, 1.0, 2.0, 4.0)
+    horizon: float = 40.0
+    warmup: float = 10.0
+    seed: int = 1
+
+
+@dataclass
+class PointResult:
+    """One (rate, rtt) sweep."""
+
+    rate: float
+    rtt: float
+    analytic_min: float
+    # multiplier -> achieved/enforced ratio
+    achieved: dict[float, float] = field(default_factory=dict)
+    # at the largest buffer: (p10, p90) of windowed rate / r
+    oscillation: tuple[float, float] = (0.0, 0.0)
+
+
+def run(config: Config | None = None) -> list[PointResult]:
+    """Run the sweep for every grid point."""
+    config = config or Config()
+    results = []
+    for rate, rtt in config.points:
+        b_min = reno_min_phantom_buffer(rate, rtt)
+        point = PointResult(rate=rate, rtt=rtt, analytic_min=b_min)
+        specs = [FlowSpec(slot=0, cc="reno", rtt=rtt)]
+        for mult in config.multipliers:
+            agg = run_aggregate(
+                "pqp",
+                specs,
+                rate=rate,
+                max_rtt=rtt,
+                horizon=config.horizon,
+                warmup=config.warmup,
+                seed=config.seed,
+                queue_bytes=mult * b_min,
+            )
+            point.achieved[mult] = agg.aggregate_series.mean() / rate
+            if mult == max(config.multipliers):
+                normalized = [v / rate for v in agg.aggregate_series.values]
+                point.oscillation = (
+                    percentile(normalized, 10),
+                    percentile(normalized, 90),
+                )
+        results.append(point)
+    return results
+
+
+def main(config: Config | None = None) -> list[PointResult]:
+    """Print the Appendix A verification table."""
+    config = config or Config()
+    results = run(config)
+    lo, hi = reno_steady_rate_bounds(1.0)
+    print("Appendix A: Reno needs B >= BDP^2/18 x MSS")
+    print(f"(steady-state oscillation bounds: {lo:.2f}r .. {hi:.2f}r)")
+    rows = []
+    for p in results:
+        rows.append([
+            f"{to_mbps(p.rate):g} Mbps / {p.rtt * 1e3:g} ms",
+            f"{p.analytic_min / 1e3:.0f} KB",
+        ] + [f"{p.achieved[m]:.3f}" for m in sorted(p.achieved)] + [
+            f"[{p.oscillation[0]:.2f}, {p.oscillation[1]:.2f}]",
+        ])
+    print_table(
+        ["rate / RTT", "B_min"] +
+        [f"{m:g}x" for m in sorted(config.multipliers)] +
+        ["oscillation (p10, p90)"],
+        rows,
+    )
+    return results
+
+
+if __name__ == "__main__":
+    main()

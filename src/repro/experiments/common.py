@@ -1,0 +1,138 @@
+"""Shared plumbing for the per-figure experiments."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.limiters.base import RateLimiter
+from repro.metrics.fairness import jain_index
+from repro.metrics.series import TimeSeries
+from repro.metrics.throughput import (
+    aggregate_throughput_series,
+    per_slot_throughput_series,
+)
+from repro.policy.tree import Policy
+from repro.scenario import AggregateScenario, BottleneckSpec
+from repro.schemes import make_limiter
+from repro.sim.simulator import Simulator
+from repro.units import to_mbps
+from repro.workload.spec import FlowSpec
+
+#: Measurement window used throughout the paper's evaluation (250 ms).
+MEASUREMENT_WINDOW = 0.25
+
+
+@dataclass
+class AggregateResult:
+    """Everything measured from one aggregate under one scheme."""
+
+    scheme: str
+    rate: float
+    aggregate_series: TimeSeries
+    slot_series: dict[int, TimeSeries]
+    drop_rate: float
+    cycles_per_packet: float
+    arrived_packets: int
+    limiter: RateLimiter = field(repr=False)
+    scenario: AggregateScenario = field(repr=False)
+
+    @property
+    def normalized_series(self) -> list[float]:
+        """Windowed aggregate throughput normalized by the enforced rate."""
+        return [v / self.rate for v in self.aggregate_series.values]
+
+    @property
+    def mean_normalized_throughput(self) -> float:
+        """Mean of non-zero normalized windows (Figure 4c's metric)."""
+        values = [v for v in self.normalized_series if v > 0]
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+    @property
+    def peak_normalized_throughput(self) -> float:
+        """Max windowed throughput over the enforced rate (burst)."""
+        if not self.aggregate_series.values:
+            return 0.0
+        return self.aggregate_series.max() / self.rate
+
+    @property
+    def fairness(self) -> float:
+        """Jain's index over mean per-slot throughputs."""
+        return jain_index([s.mean() for s in self.slot_series.values()])
+
+
+def run_aggregate(
+    scheme: str,
+    specs: Sequence[FlowSpec],
+    *,
+    rate: float,
+    max_rtt: float,
+    horizon: float,
+    warmup: float,
+    seed: int = 1,
+    bottleneck: BottleneckSpec | None = None,
+    weights: list[float] | None = None,
+    policy: Policy | None = None,
+    queue_bytes: float | None = None,
+) -> AggregateResult:
+    """Simulate one aggregate under ``scheme`` and measure it."""
+    sim = Simulator()
+    num_queues = max(s.slot for s in specs) + 1
+    limiter = make_limiter(
+        sim,
+        scheme,
+        rate=rate,
+        num_queues=num_queues,
+        max_rtt=max_rtt,
+        weights=weights,
+        policy=policy,
+        queue_bytes=queue_bytes,
+    )
+    scenario = AggregateScenario(
+        sim,
+        limiter=limiter,
+        specs=specs,
+        rng=random.Random(seed),
+        horizon=horizon,
+        bottleneck=bottleneck,
+    )
+    scenario.run()
+    records = scenario.trace.records
+    return AggregateResult(
+        scheme=scheme,
+        rate=rate,
+        aggregate_series=aggregate_throughput_series(
+            records, window=MEASUREMENT_WINDOW, start=warmup, end=horizon
+        ),
+        slot_series=per_slot_throughput_series(
+            records, window=MEASUREMENT_WINDOW, start=warmup, end=horizon
+        ),
+        drop_rate=limiter.stats.drop_rate,
+        cycles_per_packet=limiter.cost.cycles_per_packet(
+            limiter.stats.arrived_packets
+        ),
+        arrived_packets=limiter.stats.arrived_packets,
+        limiter=limiter,
+        scenario=scenario,
+    )
+
+
+def fmt_mbps(rate_bytes: float) -> str:
+    """Format a bytes/s rate as Mbit/s."""
+    return f"{to_mbps(rate_bytes):6.2f}"
+
+
+def print_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> None:
+    """Print a plain aligned table (the harness's figure output format)."""
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,115 @@
+"""Figure 1: the shaper/policer trade-off that motivates BC-PQP.
+
+* **1a** — a shaper enforces per-flow fairness at a high CPU cost per
+  packet; a policer is cheap but unfair.
+* **1b** — a token-bucket policer's bucket size trades steady-state rate
+  accuracy against burst: small buckets under-enforce, liberal buckets
+  burst far above the rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.common import print_table, run_aggregate
+from repro.units import mbps, ms, to_mbps
+from repro.workload.spec import FlowSpec
+
+
+@dataclass
+class Config:
+    """Scaled-down defaults (paper setup: DPDK middlebox microbenchmark)."""
+
+    rate: float = mbps(10)
+    ccs: tuple[str, ...] = ("reno", "cubic", "bbr", "vegas")
+    rtts: tuple[float, ...] = (ms(10), ms(20), ms(30), ms(40))
+    horizon: float = 15.0
+    warmup: float = 5.0
+    #: Bucket sweep for 1b, as multiples of the BDP at rtt_1b.
+    bucket_multipliers: tuple[float, ...] = (0.25, 0.5, 1.0, 2.0, 4.0, 8.0)
+    rtt_1b: float = ms(50)
+    seed: int = 1
+
+
+@dataclass
+class Result:
+    """Figure 1 outputs."""
+
+    fairness: dict[str, float] = field(default_factory=dict)
+    cycles_per_packet: dict[str, float] = field(default_factory=dict)
+    # 1b: bucket multiplier -> (avg normalized rate, peak normalized rate)
+    bucket_tradeoff: dict[float, tuple[float, float]] = field(
+        default_factory=dict
+    )
+
+
+def run(config: Config | None = None) -> Result:
+    """Run both motivation microbenchmarks."""
+    config = config or Config()
+    result = Result()
+
+    specs = [
+        FlowSpec(slot=i, cc=cc, rtt=rtt)
+        for i, (cc, rtt) in enumerate(zip(config.ccs, config.rtts))
+    ]
+    for scheme in ("shaper", "policer"):
+        agg = run_aggregate(
+            scheme,
+            specs,
+            rate=config.rate,
+            max_rtt=max(config.rtts),
+            horizon=config.horizon,
+            warmup=config.warmup,
+            seed=config.seed,
+        )
+        result.fairness[scheme] = agg.fairness
+        result.cycles_per_packet[scheme] = agg.cycles_per_packet
+
+    bdp = config.rate * config.rtt_1b
+    single = [FlowSpec(slot=0, cc="reno", rtt=config.rtt_1b)]
+    for mult in config.bucket_multipliers:
+        agg = run_aggregate(
+            "policer",
+            single,
+            rate=config.rate,
+            max_rtt=config.rtt_1b,
+            horizon=config.horizon,
+            warmup=config.warmup,
+            seed=config.seed,
+            queue_bytes=mult * bdp,
+        )
+        result.bucket_tradeoff[mult] = (
+            agg.mean_normalized_throughput,
+            agg.peak_normalized_throughput,
+        )
+    return result
+
+
+def main(config: Config | None = None) -> Result:
+    """Print the Figure 1 tables."""
+    config = config or Config()
+    result = run(config)
+    print(f"Figure 1a: fairness vs CPU cost, {to_mbps(config.rate):.0f} Mbps, "
+          f"4 CC algorithms")
+    print_table(
+        ["scheme", "jain_fairness", "cycles/pkt"],
+        [
+            [s, f"{result.fairness[s]:.3f}",
+             f"{result.cycles_per_packet[s]:.1f}"]
+            for s in ("shaper", "policer")
+        ],
+    )
+    print()
+    print("Figure 1b: policer bucket size trade-off (single Reno flow)")
+    print_table(
+        ["bucket (xBDP)", "avg rate (xr)", "peak rate (xr)"],
+        [
+            [f"{m:g}", f"{avg:.3f}", f"{peak:.2f}"]
+            for m, (avg, peak) in sorted(result.bucket_tradeoff.items())
+        ],
+    )
+    return result
+
+
+if __name__ == "__main__":
+    main()

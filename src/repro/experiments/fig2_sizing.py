@@ -1,0 +1,88 @@
+"""Figure 2: a Reno flow through differently sized phantom queues.
+
+Paper setup: one backlogged Reno flow, RTT 100 ms, enforced rate 10 Mbps.
+Too-small phantom buffers let the queue hit zero (under-enforcement);
+buffers at or above the Appendix-A minimum (BDP^2/18 x MSS ≈ 579 KB; the
+paper quotes ~1000 KB with margin) enforce the rate exactly, and further
+size increases only add burst and drops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.sizing import reno_min_phantom_buffer
+from repro.experiments.common import print_table, run_aggregate
+from repro.units import kilobytes, mbps, ms, to_mbps
+from repro.workload.spec import FlowSpec
+
+
+@dataclass
+class Config:
+    """Paper's Figure 2 parameters (these are already laptop-scale)."""
+
+    rate: float = mbps(10)
+    rtt: float = ms(100)
+    buffer_kb: tuple[float, ...] = (100, 250, 500, 1000, 2000, 4000)
+    horizon: float = 40.0
+    warmup: float = 10.0
+    seed: int = 1
+
+
+@dataclass
+class Result:
+    """Per-buffer-size outcomes."""
+
+    analytic_min_bytes: float = 0.0
+    # buffer KB -> (avg Mbps, peak Mbps, drop rate)
+    by_buffer: dict[float, tuple[float, float, float]] = field(
+        default_factory=dict
+    )
+
+
+def run(config: Config | None = None) -> Result:
+    """Sweep the phantom buffer size for a single Reno flow."""
+    config = config or Config()
+    result = Result(
+        analytic_min_bytes=reno_min_phantom_buffer(config.rate, config.rtt)
+    )
+    specs = [FlowSpec(slot=0, cc="reno", rtt=config.rtt)]
+    for kb in config.buffer_kb:
+        agg = run_aggregate(
+            "pqp",
+            specs,
+            rate=config.rate,
+            max_rtt=config.rtt,
+            horizon=config.horizon,
+            warmup=config.warmup,
+            seed=config.seed,
+            queue_bytes=kilobytes(kb),
+        )
+        result.by_buffer[kb] = (
+            to_mbps(agg.aggregate_series.mean()),
+            to_mbps(agg.aggregate_series.max()),
+            agg.drop_rate,
+        )
+    return result
+
+
+def main(config: Config | None = None) -> Result:
+    """Print the Figure 2 table."""
+    config = config or Config()
+    result = run(config)
+    print(f"Figure 2: Reno flow, RTT {config.rtt * 1e3:.0f} ms, enforcing "
+          f"{to_mbps(config.rate):.0f} Mbps")
+    print(f"Appendix A minimum buffer: "
+          f"{result.analytic_min_bytes / 1e3:.0f} KB")
+    print_table(
+        ["B (KB)", "avg Mbps", "peak Mbps", "drop rate"],
+        [
+            [f"{kb:g}", f"{avg:.2f}", f"{peak:.2f}", f"{drop:.4f}"]
+            for kb, (avg, peak, drop) in sorted(result.by_buffer.items())
+        ],
+    )
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,156 @@
+"""Figure 3: fairness with a secondary bottleneck after the limiter.
+
+Paper setup: 7.5 Mbps shared fairly across 4 flows with different CC
+protocols, followed by an 8.5 Mbps hop (a RAN-like link barely above the
+enforced rate).  PQP's huge phantom queues (sized O(BDP^2) at the maximum
+RTT so one queue alone can still enforce the rate, §3.5) let ramping flows
+burst far above 7.5 Mbps; the bursts queue and drop at the secondary
+bottleneck, degrading short-timescale fairness (3a).  BC-PQP clips the
+bursts at the limiter, so the policy survives the second hop (3b).
+
+Two slots run on-off flows so fresh slow starts keep arriving mid-run —
+the regime where burst control matters.  Reported per scheme: mean and
+tail of the per-window Jain index, drops at the secondary hop, and mean
+per-flow throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.common import print_table, run_aggregate
+from repro.metrics.fairness import jain_index
+from repro.metrics.stats import percentile
+from repro.scenario import BottleneckSpec
+from repro.units import MSS, mbps, ms, to_mbps
+from repro.workload.spec import FlowSpec, OnOffSpec
+
+
+@dataclass
+class Config:
+    """Figure 3 parameters."""
+
+    rate: float = mbps(7.5)
+    bottleneck_rate: float = mbps(8.5)
+    bottleneck_buffer_packets: int = 25
+    ccs: tuple[str, ...] = ("reno", "cubic", "bbr", "vegas")
+    rtts: tuple[float, ...] = (ms(20), ms(30), ms(40), ms(50))
+    #: Queues are sized for the worst-case (max) RTT, per §3.5's question
+    #: "should each queue be sized ... even when only one queue is active?"
+    sizing_rtt: float = ms(100)
+    #: Slots >= this index run on-off flows (fresh slow starts mid-run).
+    first_onoff_slot: int = 2
+    onoff_burst_packets: float = 600
+    onoff_off_time: float = 0.8
+    fairness_window: float = 0.5
+    horizon: float = 30.0
+    warmup: float = 10.0
+    seed: int = 1
+
+
+@dataclass
+class Result:
+    """Per-scheme fairness and burst-damage measurements."""
+
+    mean_window_fairness: dict[str, float] = field(default_factory=dict)
+    p10_window_fairness: dict[str, float] = field(default_factory=dict)
+    per_flow_mbps: dict[str, dict[int, float]] = field(default_factory=dict)
+    bottleneck_drops: dict[str, int] = field(default_factory=dict)
+
+
+def _specs(config: Config) -> list[FlowSpec]:
+    specs = []
+    for i, (cc, rtt) in enumerate(zip(config.ccs, config.rtts)):
+        on_off = None
+        if i >= config.first_onoff_slot:
+            on_off = OnOffSpec(
+                burst_packets_mean=config.onoff_burst_packets,
+                off_time_mean=config.onoff_off_time,
+            )
+        specs.append(
+            FlowSpec(slot=i, cc=cc, rtt=rtt, start=2.0 * i, on_off=on_off)
+        )
+    return specs
+
+
+def _window_fairness(agg, config: Config) -> list[float]:
+    slots = agg.slot_series
+    if not slots:
+        return []
+    n_windows = max(len(s.values) for s in slots.values())
+    jains = []
+    for w in range(n_windows):
+        vals = [
+            slots[i].values[w] if i in slots and w < len(slots[i].values)
+            else 0.0
+            for i in range(len(config.ccs))
+        ]
+        if sum(vals) > 0:
+            jains.append(jain_index(vals))
+    return jains
+
+
+def run(config: Config | None = None) -> Result:
+    """Compare PQP and BC-PQP across the secondary bottleneck."""
+    config = config or Config()
+    result = Result()
+    for scheme in ("pqp", "bcpqp"):
+        agg = run_aggregate(
+            scheme,
+            _specs(config),
+            rate=config.rate,
+            max_rtt=config.sizing_rtt,
+            horizon=config.horizon,
+            warmup=config.warmup,
+            seed=config.seed,
+            bottleneck=BottleneckSpec(
+                rate=config.bottleneck_rate,
+                buffer_bytes=config.bottleneck_buffer_packets * MSS,
+            ),
+        )
+        jains = _window_fairness(agg, config)
+        result.mean_window_fairness[scheme] = (
+            sum(jains) / len(jains) if jains else 0.0
+        )
+        result.p10_window_fairness[scheme] = (
+            percentile(jains, 10) if jains else 0.0
+        )
+        result.per_flow_mbps[scheme] = {
+            slot: to_mbps(series.mean())
+            for slot, series in sorted(agg.slot_series.items())
+        }
+        bottleneck = agg.scenario.bottleneck
+        result.bottleneck_drops[scheme] = (
+            bottleneck.dropped_packets if bottleneck else 0
+        )
+    return result
+
+
+def main(config: Config | None = None) -> Result:
+    """Print the Figure 3 comparison."""
+    config = config or Config()
+    result = run(config)
+    print(f"Figure 3: {to_mbps(config.rate):.1f} Mbps fair-shared across 4 "
+          f"CCs, {to_mbps(config.bottleneck_rate):.1f} Mbps secondary "
+          f"bottleneck")
+    rows = []
+    for scheme in ("pqp", "bcpqp"):
+        flows = result.per_flow_mbps[scheme]
+        rows.append([
+            scheme,
+            f"{result.mean_window_fairness[scheme]:.3f}",
+            f"{result.p10_window_fairness[scheme]:.3f}",
+            str(result.bottleneck_drops[scheme]),
+            " ".join(f"{flows.get(i, 0.0):.2f}"
+                     for i in range(len(config.ccs))),
+        ])
+    print_table(
+        ["scheme", "window jain (mean)", "window jain (p10)",
+         "2nd-hop drops", "per-flow Mbps"],
+        rows,
+    )
+    return result
+
+
+if __name__ == "__main__":
+    main()

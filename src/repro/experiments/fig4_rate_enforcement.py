@@ -1,0 +1,125 @@
+"""Figure 4: aggregate rate enforcement across schemes (§6.1).
+
+The §6.1 workload (a mix of homogeneous/heterogeneous, backlogged/on-off
+aggregates) is enforced at several rates by each scheme.  Reported, per
+scheme:
+
+* **4a/4b** — distribution of 250 ms aggregate throughput normalized by
+  the enforced rate (body percentiles and the burst tail);
+* **4c** — mean of non-zero normalized throughput measurements;
+* **4d** — packet drop rate at each enforced rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.common import print_table, run_aggregate
+from repro.metrics.stats import percentile
+from repro.units import mbps, to_mbps
+from repro.workload.aggregates import Section61Config, make_section61_aggregates
+
+#: Schemes compared in §6.1.
+SCHEMES = ("shaper", "policer", "policer+", "fairpolicer", "bcpqp")
+
+
+@dataclass
+class Config:
+    """Scaled-down §6.1 (paper: 100 aggregates, rates up to 100 Mbps,
+    multi-minute runs).  ``scale`` multiplies aggregate count; rates can be
+    extended via ``workload.rates``."""
+
+    workload: Section61Config = field(default_factory=lambda: Section61Config(
+        num_aggregates=9,
+        rates=(mbps(1.5), mbps(7.5), mbps(25.0)),
+        flows_per_aggregate=4,
+        horizon=12.0,
+        seed=7,
+    ))
+    warmup: float = 3.0
+    schemes: tuple[str, ...] = SCHEMES
+
+
+@dataclass
+class SchemeSummary:
+    """Figure 4's per-scheme numbers."""
+
+    normalized_samples: list[float] = field(default_factory=list)
+    fairness_samples: list[float] = field(default_factory=list)
+    drop_rate_by_rate: dict[float, float] = field(default_factory=dict)
+    mean_normalized: float = 0.0
+    p50: float = 0.0
+    p99: float = 0.0
+    peak: float = 0.0
+
+
+def run(config: Config | None = None) -> dict[str, SchemeSummary]:
+    """Run every aggregate under every scheme; aggregate the measurements."""
+    config = config or Config()
+    aggregates = make_section61_aggregates(config.workload)
+    results: dict[str, SchemeSummary] = {}
+    for scheme in config.schemes:
+        summary = SchemeSummary()
+        drops: dict[float, list[float]] = {}
+        for agg_spec in aggregates:
+            agg = run_aggregate(
+                scheme,
+                agg_spec.flows,
+                rate=agg_spec.rate,
+                max_rtt=agg_spec.max_rtt,
+                horizon=config.workload.horizon,
+                warmup=config.warmup,
+                seed=config.workload.seed + agg_spec.aggregate_id,
+            )
+            summary.normalized_samples.extend(
+                v for v in agg.normalized_series
+            )
+            summary.fairness_samples.append(agg.fairness)
+            drops.setdefault(agg_spec.rate, []).append(agg.drop_rate)
+        nonzero = [v for v in summary.normalized_samples if v > 0]
+        if nonzero:
+            summary.mean_normalized = sum(nonzero) / len(nonzero)
+            summary.p50 = percentile(nonzero, 50)
+            summary.p99 = percentile(nonzero, 99)
+            summary.peak = max(nonzero)
+        summary.drop_rate_by_rate = {
+            rate: sum(vals) / len(vals) for rate, vals in drops.items()
+        }
+        results[scheme] = summary
+    return results
+
+
+def main(config: Config | None = None) -> dict[str, SchemeSummary]:
+    """Print Figure 4's tables (4a/4b distribution, 4c means, 4d drops)."""
+    config = config or Config()
+    results = run(config)
+    print("Figure 4a/4b: normalized 250 ms aggregate throughput")
+    print_table(
+        ["scheme", "p50", "p99 (burst tail)", "max"],
+        [
+            [s, f"{r.p50:.3f}", f"{r.p99:.3f}", f"{r.peak:.2f}"]
+            for s, r in results.items()
+        ],
+    )
+    print()
+    print("Figure 4c: mean normalized aggregate throughput")
+    print_table(
+        ["scheme", "mean (xr)"],
+        [[s, f"{r.mean_normalized:.3f}"] for s, r in results.items()],
+    )
+    print()
+    print("Figure 4d: drop rate by enforced rate")
+    rates = sorted(next(iter(results.values())).drop_rate_by_rate)
+    print_table(
+        ["scheme"] + [f"{to_mbps(r):g} Mbps" for r in rates],
+        [
+            [s] + [f"{summary.drop_rate_by_rate.get(r, 0.0):.3f}"
+                   for r in rates]
+            for s, summary in results.items()
+        ],
+    )
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,220 @@
+"""Figure 6: policy enforcement within an aggregate (§6.3).
+
+* **6a** — CDF of Jain's per-flow fairness index over the §6.1 workload:
+  shaper ≈ BC-PQP > FairPolicer > policers.
+* **6b/6c** — weighted fairness: 7 flows with weights 1..7 and sizes
+  proportional to their weights should all complete together.  BC-PQP
+  achieves this; FairPolicer's equal per-flow caps do not.
+* **6d** — a nested policy: a high-priority group (3 on-off flows sharing
+  by weight 1:2:3) over a low-priority backlogged flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.common import print_table, run_aggregate
+from repro.metrics.fairness import weighted_jain_index
+from repro.metrics.stats import percentile
+from repro.policy.tree import Policy
+from repro.units import mbps, ms, to_mbps
+from repro.workload.aggregates import Section61Config, make_section61_aggregates
+from repro.workload.spec import FlowSpec, OnOffSpec
+
+
+@dataclass
+class Config:
+    """Scaled-down §6.3 parameters."""
+
+    workload: Section61Config = field(default_factory=lambda: Section61Config(
+        num_aggregates=6,
+        rates=(mbps(7.5), mbps(25.0)),
+        flows_per_aggregate=4,
+        horizon=12.0,
+        seed=11,
+    ))
+    warmup: float = 3.0
+    fairness_schemes: tuple[str, ...] = (
+        "shaper", "bcpqp", "fairpolicer", "policer")
+
+    # 6b/6c: weighted fairness microbenchmark.
+    weighted_rate: float = mbps(50)
+    weights: tuple[float, ...] = (1, 2, 3, 4, 5, 6, 7)
+    #: Flow sizes proportional to weights: this many packets per weight unit.
+    packets_per_weight: int = 700
+    weighted_rtt: float = ms(20)
+    weighted_horizon: float = 40.0
+
+    # 6d: nested policy microbenchmark.
+    nested_rate: float = mbps(10)
+    nested_horizon: float = 20.0
+
+
+@dataclass
+class Result:
+    """Figure 6 outputs."""
+
+    # 6a: scheme -> (p10, p50, mean) of Jain's index across aggregates.
+    fairness_cdf: dict[str, tuple[float, float, float]] = field(
+        default_factory=dict
+    )
+    # 6b/6c: scheme -> (completion spread, weighted Jain index).
+    weighted: dict[str, tuple[float, float]] = field(default_factory=dict)
+    # 6d: throughput shares during/after the high-priority phase.
+    nested_high_share: float = 0.0
+    nested_low_share_when_high_active: float = 0.0
+    nested_weighted_jain: float = 0.0
+
+
+def run_fairness_cdf(config: Config, result: Result) -> None:
+    """6a: per-flow fairness across the §6.1 workload."""
+    aggregates = make_section61_aggregates(config.workload)
+    for scheme in config.fairness_schemes:
+        samples = []
+        for agg_spec in aggregates:
+            agg = run_aggregate(
+                scheme,
+                agg_spec.flows,
+                rate=agg_spec.rate,
+                max_rtt=agg_spec.max_rtt,
+                horizon=config.workload.horizon,
+                warmup=config.warmup,
+                seed=config.workload.seed + agg_spec.aggregate_id,
+            )
+            samples.append(agg.fairness)
+        result.fairness_cdf[scheme] = (
+            percentile(samples, 10),
+            percentile(samples, 50),
+            sum(samples) / len(samples),
+        )
+
+
+def run_weighted(config: Config, result: Result) -> None:
+    """6b/6c: weight-proportional flows should finish together."""
+    weights = list(config.weights)
+    specs = [
+        FlowSpec(
+            slot=i,
+            cc="cubic",
+            rtt=config.weighted_rtt,
+            packets=config.packets_per_weight * int(w),
+            weight=w,
+        )
+        for i, w in enumerate(weights)
+    ]
+    for scheme in ("fairpolicer", "bcpqp"):
+        agg = run_aggregate(
+            scheme,
+            specs,
+            rate=config.weighted_rate,
+            max_rtt=config.weighted_rtt,
+            horizon=config.weighted_horizon,
+            warmup=1.0,
+            weights=weights,
+        )
+        records = agg.scenario.flow_records
+        ends = {r.slot: r.end for r in records}
+        if len(ends) == len(weights):
+            spread = max(ends.values()) - min(ends.values())
+        else:
+            spread = float("inf")  # some flows never finished
+        shares = [s.mean() for _, s in sorted(agg.slot_series.items())]
+        wj = weighted_jain_index(shares, weights[: len(shares)]) \
+            if len(shares) == len(weights) else 0.0
+        result.weighted[scheme] = (spread, wj)
+
+
+def run_nested(config: Config, result: Result) -> None:
+    """6d: prioritization + weighted fairness, BC-PQP only."""
+    policy = Policy.nested(
+        [[1.0, 2.0, 3.0], [1.0]], group_priorities=[0, 1]
+    )
+    specs = [
+        FlowSpec(slot=i, cc="cubic", rtt=ms(20), weight=float(i + 1),
+                 on_off=OnOffSpec(burst_packets_mean=500, off_time_mean=1.0))
+        for i in range(3)
+    ] + [FlowSpec(slot=3, cc="cubic", rtt=ms(20))]
+    agg = run_aggregate(
+        "bcpqp",
+        specs,
+        rate=config.nested_rate,
+        max_rtt=ms(50),
+        horizon=config.nested_horizon,
+        warmup=2.0,
+        policy=policy,
+    )
+    # Classify measurement windows by whether the high-prio group was busy.
+    high = [agg.slot_series[i] for i in range(3) if i in agg.slot_series]
+    low = agg.slot_series.get(3)
+    high_active_windows = low_share_sum = high_share_sum = 0.0
+    n_windows = len(low.values) if low else 0
+    for w in range(n_windows):
+        high_rate = sum(s.values[w] for s in high if w < len(s.values))
+        low_rate = low.values[w] if low else 0.0
+        total = high_rate + low_rate
+        if total <= 0:
+            continue
+        if high_rate > 0.2 * config.nested_rate:
+            high_active_windows += 1
+            high_share_sum += high_rate / total
+            low_share_sum += low_rate / total
+    if high_active_windows:
+        result.nested_high_share = high_share_sum / high_active_windows
+        result.nested_low_share_when_high_active = (
+            low_share_sum / high_active_windows
+        )
+    shares = [s.mean() for s in high]
+    if len(shares) == 3:
+        result.nested_weighted_jain = weighted_jain_index(
+            shares, [1.0, 2.0, 3.0]
+        )
+
+
+def run(config: Config | None = None) -> Result:
+    """Run all three §6.3 experiments."""
+    config = config or Config()
+    result = Result()
+    run_fairness_cdf(config, result)
+    run_weighted(config, result)
+    run_nested(config, result)
+    return result
+
+
+def main(config: Config | None = None) -> Result:
+    """Print the Figure 6 tables."""
+    config = config or Config()
+    result = run(config)
+    print("Figure 6a: Jain's fairness index across aggregates")
+    print_table(
+        ["scheme", "p10", "p50", "mean"],
+        [
+            [s, f"{p10:.3f}", f"{p50:.3f}", f"{m:.3f}"]
+            for s, (p10, p50, m) in result.fairness_cdf.items()
+        ],
+    )
+    print()
+    print(f"Figure 6b/6c: weighted sharing of "
+          f"{to_mbps(config.weighted_rate):.0f} Mbps, weights 1..7, sizes "
+          f"proportional to weights")
+    print_table(
+        ["scheme", "completion spread (s)", "weighted jain"],
+        [
+            [s, "unfinished" if spread == float("inf") else f"{spread:.2f}",
+             f"{wj:.3f}"]
+            for s, (spread, wj) in result.weighted.items()
+        ],
+    )
+    print()
+    print("Figure 6d: nested policy (priority group with 1:2:3 weights "
+          "over a backlogged background flow)")
+    print(f"  high-priority group share when active: "
+          f"{result.nested_high_share:.3f}")
+    print(f"  background share while high-prio active: "
+          f"{result.nested_low_share_when_high_active:.3f}")
+    print(f"  weighted Jain within the group: "
+          f"{result.nested_weighted_jain:.3f}")
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Rate-limiting mechanisms: the paper's baselines.
+
+* :class:`TokenBucketPolicer` — classic TBF policer (Policer / Policer+).
+* :class:`Shaper` — multi-queue traffic shaper with hierarchical DRR.
+* :class:`FairPolicer` — reimplementation of the FairPolicer comparator.
+
+The paper's own contribution (PQP / BC-PQP) lives in :mod:`repro.core`.
+"""
+
+from repro.limiters.base import LimiterStats, RateLimiter
+from repro.limiters.costs import CostMeter, CostTable, Op
+from repro.limiters.fair_policer import FairPolicer
+from repro.limiters.shaper import Shaper
+from repro.limiters.token_bucket import TokenBucketPolicer
+
+__all__ = [
+    "CostMeter",
+    "CostTable",
+    "FairPolicer",
+    "LimiterStats",
+    "Op",
+    "RateLimiter",
+    "Shaper",
+    "TokenBucketPolicer",
+]

@@ -1,0 +1,129 @@
+"""Multi-queue traffic shaper (§2.1).
+
+Buffers real packets in per-queue drop-tail buffers and releases them at
+the enforced rate, ordered by a hierarchical DRR scheduler realizing the
+configured policy tree.  The cost meter charges the packet store on
+enqueue, the packet fetch (pointer chase) plus a timer event on every
+dequeue — the structural sources of the shaper's CPU cost.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.classify.classifier import FlowClassifier
+from repro.limiters.base import RateLimiter
+from repro.limiters.costs import Op
+from repro.net.packet import Packet
+from repro.policy.tree import Policy
+from repro.sched.drr import HierarchicalDrrScheduler
+from repro.sim.simulator import Simulator
+from repro.units import MSS
+
+
+class Shaper(RateLimiter):
+    """A policy-rich traffic shaper serving N queues at cumulative ``rate``.
+
+    Parameters
+    ----------
+    rate:
+        Cumulative service rate, bytes/second.
+    policy:
+        Sharing policy across the queues.
+    classifier:
+        Maps flows to queue indices; must agree with ``policy.num_queues``.
+    queue_bytes:
+        Per-queue drop-tail capacity in bytes.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        *,
+        rate: float,
+        policy: Policy,
+        classifier: FlowClassifier,
+        queue_bytes: float,
+        quantum: float = MSS,
+        name: str = "shaper",
+    ) -> None:
+        super().__init__(sim, name=name)
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate!r}")
+        if queue_bytes <= 0:
+            raise ValueError(f"queue_bytes must be positive, got {queue_bytes!r}")
+        if classifier.num_queues != policy.num_queues:
+            raise ValueError(
+                f"classifier has {classifier.num_queues} queues but policy "
+                f"covers {policy.num_queues}"
+            )
+        self._rate = rate
+        self._policy = policy
+        self._classifier = classifier
+        self._capacity = float(queue_bytes)
+        self._scheduler = HierarchicalDrrScheduler(policy, quantum=quantum)
+        n = policy.num_queues
+        self._queues: list[deque[Packet]] = [deque() for _ in range(n)]
+        self._queue_bytes = [0.0] * n
+        self._busy = False
+        self.max_backlog_bytes = 0.0
+
+    @property
+    def rate(self) -> float:
+        """Cumulative service rate in bytes/second."""
+        return self._rate
+
+    @property
+    def num_queues(self) -> int:
+        """Number of real packet queues."""
+        return self._policy.num_queues
+
+    def backlog_bytes(self, queue: int | None = None) -> float:
+        """Bytes buffered in ``queue`` (or in all queues when ``None``)."""
+        if queue is None:
+            return sum(self._queue_bytes)
+        return self._queue_bytes[queue]
+
+    def _on_packet(self, packet: Packet) -> None:
+        qi = self._classifier.queue_of(packet.flow)
+        self.cost.charge(Op.MAP, 1)  # classification lookup
+        if self._queue_bytes[qi] + packet.size > self._capacity:
+            self.cost.charge(Op.ALU, 1)
+            self._drop(packet, queue=qi)
+            return
+        # Store the packet into buffer memory: the DDIO-evicted write §2.1
+        # describes, plus the queue bookkeeping.
+        self.cost.charge(Op.PKT_STORE, 1)
+        self.cost.charge(Op.ALU, 2)
+        self._queues[qi].append(packet)
+        self._queue_bytes[qi] += packet.size
+        backlog = sum(self._queue_bytes)
+        if backlog > self.max_backlog_bytes:
+            self.max_backlog_bytes = backlog
+        if not self._busy:
+            self._serve_next()
+
+    def _serve_next(self) -> None:
+        heads = [
+            q[0].size if q else None for q in self._queues
+        ]
+        qi = self._scheduler.select(heads)
+        self.cost.charge(Op.SCHED, 2)
+        if qi is None:
+            self._busy = False
+            return
+        self._busy = True
+        packet = self._queues[qi].popleft()
+        self._queue_bytes[qi] -= packet.size
+        self._scheduler.charge(packet.size)
+        # Serialize at the enforced rate, then emit and pick the next one.
+        # Fetching the packet back from buffer memory (pointer chase across
+        # per-flow queues) and arming the dequeue timer are the dominant
+        # per-packet costs of a shaper.
+        self.cost.charge(Op.PKT_FETCH, 1)
+        self.cost.charge(Op.TIMER, 1)
+        self._sim.schedule(packet.size / self._rate, self._emit, packet)
+
+    def _emit(self, packet: Packet) -> None:
+        self._forward(packet)
+        self._serve_next()

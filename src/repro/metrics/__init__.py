@@ -1,0 +1,26 @@
+"""Measurement utilities: windowed throughput, fairness, bursts, CDFs."""
+
+from repro.metrics.fairness import jain_index
+from repro.metrics.series import TimeSeries, WindowedRate
+from repro.metrics.stats import cdf_points, mean, percentile
+from repro.metrics.throughput import (
+    aggregate_throughput_series,
+    burst_factor,
+    flow_bytes,
+    per_flow_throughput_series,
+    per_slot_throughput_series,
+)
+
+__all__ = [
+    "TimeSeries",
+    "WindowedRate",
+    "aggregate_throughput_series",
+    "burst_factor",
+    "cdf_points",
+    "flow_bytes",
+    "jain_index",
+    "mean",
+    "per_flow_throughput_series",
+    "per_slot_throughput_series",
+    "percentile",
+]

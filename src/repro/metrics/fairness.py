@@ -1,0 +1,39 @@
+"""Fairness indices."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def jain_index(values: Iterable[float]) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)``.
+
+    1.0 means perfectly equal shares; ``1/n`` means one value hogs all.
+    An empty input or all-zero input returns 1.0 (vacuously fair).
+
+    >>> jain_index([1, 1, 1, 1])
+    1.0
+    >>> round(jain_index([4, 0, 0, 0]), 3)
+    0.25
+    """
+    xs = [float(v) for v in values]
+    if not xs:
+        return 1.0
+    total = sum(xs)
+    squares = sum(x * x for x in xs)
+    if squares == 0:
+        return 1.0
+    return (total * total) / (len(xs) * squares)
+
+
+def weighted_jain_index(values: Sequence[float], weights: Sequence[float]) -> float:
+    """Jain's index on weight-normalized shares ``x_i / w_i``.
+
+    Measures how close an allocation is to the *weighted* fair target:
+    1.0 when throughput is exactly proportional to the weights.
+    """
+    if len(values) != len(weights):
+        raise ValueError("values and weights must have equal length")
+    if any(w <= 0 for w in weights):
+        raise ValueError("weights must be positive")
+    return jain_index([v / w for v, w in zip(values, weights)])

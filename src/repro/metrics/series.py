@@ -1,0 +1,87 @@
+"""Time-series containers for rate measurements."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class TimeSeries:
+    """A plain (time, value) series with convenience accessors."""
+
+    times: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def append(self, time: float, value: float) -> None:
+        """Add one point (times must be non-decreasing)."""
+        if self.times and time < self.times[-1]:
+            raise ValueError("TimeSeries times must be non-decreasing")
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self) -> Iterator[tuple[float, float]]:
+        return iter(zip(self.times, self.values))
+
+    def window(self, start: float, end: float) -> "TimeSeries":
+        """Points with ``start <= t < end``."""
+        out = TimeSeries()
+        for t, v in self:
+            if start <= t < end:
+                out.append(t, v)
+        return out
+
+    def max(self) -> float:
+        """Largest value (0.0 for an empty series)."""
+        return max(self.values, default=0.0)
+
+    def mean(self) -> float:
+        """Mean value (0.0 for an empty series)."""
+        if not self.values:
+            return 0.0
+        return sum(self.values) / len(self.values)
+
+
+class WindowedRate:
+    """Online accumulator binning byte arrivals into fixed windows.
+
+    Emits a rate sample (bytes/sec) per elapsed window; used when traces
+    would be too large to keep (long workload runs).
+    """
+
+    def __init__(self, window: float, start: float = 0.0) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window!r}")
+        self._window = window
+        self._start = start
+        self._current_bin = 0
+        self._acc = 0.0
+        self.series = TimeSeries()
+
+    @property
+    def window(self) -> float:
+        """Window length in seconds."""
+        return self._window
+
+    def record(self, time: float, nbytes: float) -> None:
+        """Account ``nbytes`` arriving at ``time`` (non-decreasing)."""
+        bin_index = int((time - self._start) / self._window)
+        while bin_index > self._current_bin:
+            self._flush_bin()
+        self._acc += nbytes
+
+    def finish(self, end_time: float) -> "TimeSeries":
+        """Flush bins up to ``end_time`` and return the rate series."""
+        final_bin = int((end_time - self._start) / self._window)
+        while self._current_bin < final_bin:
+            self._flush_bin()
+        return self.series
+
+    def _flush_bin(self) -> None:
+        t = self._start + self._current_bin * self._window
+        self.series.append(t, self._acc / self._window)
+        self._acc = 0.0
+        self._current_bin += 1

@@ -1,0 +1,59 @@
+"""Small statistics helpers (stdlib-only, deterministic)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty input."""
+    xs = list(values)
+    if not xs:
+        return 0.0
+    return sum(xs) / len(xs)
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """The ``p``-th percentile (0..100) with linear interpolation.
+
+    >>> percentile([1, 2, 3, 4], 50)
+    2.5
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= p <= 100:
+        raise ValueError(f"p must be in [0, 100], got {p!r}")
+    xs = sorted(values)
+    if len(xs) == 1:
+        return xs[0]
+    rank = (p / 100.0) * (len(xs) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(xs) - 1)
+    frac = rank - lo
+    # a + frac*(b - a) is exact at frac=0 and monotone for a <= b, unlike
+    # the a*(1-frac) + b*frac form which can wobble below a.
+    return xs[lo] + frac * (xs[hi] - xs[lo])
+
+
+def cdf_points(values: Sequence[float]) -> list[tuple[float, float]]:
+    """Empirical CDF as ``(value, cumulative fraction)`` pairs.
+
+    >>> cdf_points([3, 1])
+    [(1, 0.5), (3, 1.0)]
+    """
+    xs = sorted(values)
+    n = len(xs)
+    return [(x, (i + 1) / n) for i, x in enumerate(xs)]
+
+
+def summarize(values: Sequence[float]) -> dict[str, float]:
+    """Mean / p50 / p90 / p99 / max summary of a sample."""
+    if not values:
+        return {"mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0}
+    return {
+        "mean": mean(values),
+        "p50": percentile(values, 50),
+        "p90": percentile(values, 90),
+        "p99": percentile(values, 99),
+        "max": max(values),
+    }

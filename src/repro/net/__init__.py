@@ -1,0 +1,20 @@
+"""Network substrate: packets, links, pipes, traces and topology wiring."""
+
+from repro.net.packet import FlowId, Packet, PacketKind
+from repro.net.link import Link
+from repro.net.pipe import Pipe
+from repro.net.sink import CallbackSink, NullSink, PacketSink, TeeSink
+from repro.net.trace import PacketRecord, Trace
+
+__all__ = [
+    "CallbackSink",
+    "FlowId",
+    "Link",
+    "NullSink",
+    "Packet",
+    "PacketKind",
+    "PacketRecord",
+    "PacketSink",
+    "Pipe",
+    "Trace",
+]

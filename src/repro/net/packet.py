@@ -1,0 +1,155 @@
+"""Packet and flow-identity types.
+
+Data packets carry one MSS of payload; sequence numbers count packets (not
+bytes), which matches the paper's MSS-granularity analysis and keeps TCP
+bookkeeping simple.  ACKs are separate 40-byte packets carrying a cumulative
+``ack_next`` (the next packet number the receiver expects).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.units import ACK_SIZE, MSS
+
+
+class PacketKind(Enum):
+    """Whether a packet carries data or a pure acknowledgement."""
+
+    DATA = "data"
+    ACK = "ack"
+
+
+@dataclass(frozen=True, slots=True)
+class FlowId:
+    """Identity of one transport flow.
+
+    ``aggregate`` names the rate-limited traffic aggregate (e.g. one ISP
+    subscriber); ``slot`` is a stable index within the aggregate used for
+    queue classification (an on-off flow that restarts keeps its slot);
+    ``incarnation`` distinguishes successive flows in the same slot.
+    """
+
+    aggregate: int
+    slot: int
+    incarnation: int = 0
+
+    def __str__(self) -> str:
+        return f"agg{self.aggregate}.s{self.slot}.i{self.incarnation}"
+
+
+_packet_ids = itertools.count()
+
+
+@dataclass(slots=True)
+class Packet:
+    """One simulated packet.
+
+    Attributes
+    ----------
+    flow:
+        Owning flow identity.
+    kind:
+        DATA or ACK.
+    seq:
+        For DATA: packet number within the flow.  For ACK: unused (0).
+    size:
+        Wire size in bytes (MSS for data, 40 for ACKs).
+    sent_at:
+        Time the packet was (last) transmitted by the sender; echoed back in
+        ACKs for RTT sampling.
+    ack_next:
+        For ACK packets: cumulative next-expected packet number.
+    echo_ts:
+        For ACK packets: ``sent_at`` of the data packet that triggered this
+        ACK (Karn-friendly RTT sampling uses it only for non-retransmits).
+    retransmit:
+        True if this transmission is a retransmission.
+    ecn_capable:
+        Data packets: sender negotiated ECN (ECT codepoint).
+    ce:
+        Data packets: Congestion Experienced mark set by an AQM.
+    ecn_echo:
+        ACK packets: the receiver saw CE on the triggering segment.
+    sack:
+        For ACK packets: up to three SACK ranges ``(start, end)`` (end
+        exclusive, in packet numbers) above ``ack_next``, lowest first —
+        the receiver's out-of-order blocks, as Linux TCP reports them.
+    uid:
+        Globally unique packet id, handy for tracing.
+    """
+
+    flow: FlowId
+    kind: PacketKind
+    seq: int
+    size: int
+    sent_at: float
+    ack_next: int = 0
+    echo_ts: float = 0.0
+    echo_retransmit: bool = False
+    retransmit: bool = False
+    ecn_capable: bool = False
+    ce: bool = False
+    ecn_echo: bool = False
+    sack: tuple[tuple[int, int], ...] = ()
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+
+    @classmethod
+    def data(
+        cls,
+        flow: FlowId,
+        seq: int,
+        sent_at: float,
+        *,
+        size: int = MSS,
+        retransmit: bool = False,
+        ecn_capable: bool = False,
+    ) -> "Packet":
+        """Construct a data packet."""
+        return cls(
+            flow=flow,
+            kind=PacketKind.DATA,
+            seq=seq,
+            size=size,
+            sent_at=sent_at,
+            retransmit=retransmit,
+            ecn_capable=ecn_capable,
+        )
+
+    @classmethod
+    def ack(
+        cls,
+        flow: FlowId,
+        ack_next: int,
+        sent_at: float,
+        *,
+        echo_ts: float,
+        echo_retransmit: bool,
+        sack: tuple[tuple[int, int], ...] = (),
+        ecn_echo: bool = False,
+    ) -> "Packet":
+        """Construct a pure ACK for ``flow`` (sent receiver → sender)."""
+        return cls(
+            flow=flow,
+            kind=PacketKind.ACK,
+            seq=0,
+            size=ACK_SIZE,
+            sent_at=sent_at,
+            ack_next=ack_next,
+            echo_ts=echo_ts,
+            echo_retransmit=echo_retransmit,
+            sack=sack,
+            ecn_echo=ecn_echo,
+        )
+
+    @property
+    def is_data(self) -> bool:
+        """True for data packets."""
+        return self.kind is PacketKind.DATA
+
+    @property
+    def is_ack(self) -> bool:
+        """True for pure ACKs."""
+        return self.kind is PacketKind.ACK

@@ -1,0 +1,41 @@
+"""An infinite-bandwidth, fixed-delay pipe.
+
+Used for per-flow propagation delays (the reproduction's stand-in for
+``netem`` latency injection) and for the ACK return path, which in the
+paper's testbed does not traverse the rate-limiting middlebox.
+"""
+
+from __future__ import annotations
+
+from repro.net.packet import Packet
+from repro.net.sink import PacketSink
+from repro.sim.simulator import Simulator
+
+
+class Pipe:
+    """Delivers every packet to ``sink`` exactly ``delay`` seconds later."""
+
+    def __init__(
+        self, sim: Simulator, delay: float, sink: PacketSink, *, name: str = "pipe"
+    ) -> None:
+        if delay < 0:
+            raise ValueError(f"pipe delay must be non-negative, got {delay!r}")
+        self._sim = sim
+        self._delay = delay
+        self._sink = sink
+        self.name = name
+        self.forwarded_packets = 0
+        self.forwarded_bytes = 0
+
+    @property
+    def delay(self) -> float:
+        """One-way delay in seconds."""
+        return self._delay
+
+    def receive(self, packet: Packet) -> None:
+        self.forwarded_packets += 1
+        self.forwarded_bytes += packet.size
+        if self._delay > 0:
+            self._sim.schedule(self._delay, self._sink.receive, packet)
+        else:
+            self._sink.receive(packet)

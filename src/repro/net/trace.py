@@ -1,0 +1,74 @@
+"""Packet traces: lightweight observation points for experiments and tests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.net.packet import FlowId, Packet
+from repro.net.sink import PacketSink
+from repro.sim.simulator import Simulator
+
+
+@dataclass(frozen=True, slots=True)
+class PacketRecord:
+    """One observed packet: arrival time, flow, size and data/ack flag."""
+
+    time: float
+    flow: FlowId
+    size: int
+    is_data: bool
+    seq: int
+
+
+class Trace:
+    """Records packets flowing through a point and forwards them downstream.
+
+    The record list is the raw material for windowed throughput series,
+    fairness indices and burst measurements (see :mod:`repro.metrics`).
+    Pass ``data_only=True`` to ignore ACKs (the usual case for throughput
+    measured at the receiver).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        sink: PacketSink | None = None,
+        *,
+        data_only: bool = True,
+        name: str = "trace",
+    ) -> None:
+        self._sim = sim
+        self._sink = sink
+        self._data_only = data_only
+        self.name = name
+        self.records: list[PacketRecord] = []
+
+    def receive(self, packet: Packet) -> None:
+        if packet.is_data or not self._data_only:
+            self.records.append(
+                PacketRecord(
+                    time=self._sim.now,
+                    flow=packet.flow,
+                    size=packet.size,
+                    is_data=packet.is_data,
+                    seq=packet.seq,
+                )
+            )
+        if self._sink is not None:
+            self._sink.receive(packet)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[PacketRecord]:
+        return iter(self.records)
+
+    @property
+    def total_bytes(self) -> int:
+        """Sum of recorded packet sizes."""
+        return sum(r.size for r in self.records)
+
+    def flows(self) -> set[FlowId]:
+        """Distinct flows observed."""
+        return {r.flow for r in self.records}

@@ -1,0 +1,16 @@
+"""Rate-sharing policy trees.
+
+A policy describes how an aggregate's enforced rate ``r`` is divided among
+``N`` queues: per-flow fairness, weighted fairness, strict prioritization,
+or arbitrary nested (hierarchical) combinations of these (§3.2/§3.3 of the
+paper).  The same tree drives three consumers:
+
+* the fluid (GPS) service model of the phantom queues (:mod:`repro.core`),
+* BC-PQP's per-queue dequeue-rate estimate ``r*_i`` (§4),
+* the hierarchical deficit-round-robin packet scheduler of the shaper
+  (:mod:`repro.sched`).
+"""
+
+from repro.policy.tree import ClassNode, Leaf, Policy
+
+__all__ = ["ClassNode", "Leaf", "Policy"]

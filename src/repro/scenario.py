@@ -1,0 +1,212 @@
+"""Single-aggregate scenario wiring.
+
+Reproduces the paper's three-machine testbed for one traffic aggregate:
+
+    senders --(per-flow delay pipes)--> rate limiter
+        --> [optional secondary bottleneck link] --> receiver trace
+        --> per-flow receivers --(per-flow delay pipes)--> ACKs back
+
+Each :class:`~repro.workload.spec.FlowSpec` becomes a :class:`FlowRunner`
+that launches successive TCP flows in its slot (one for backlogged/fixed
+flows, many for on-off slots) and records completion times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import Sequence
+
+from repro.cc.endpoint import FlowDemux, TcpSender
+from repro.limiters.base import RateLimiter
+from repro.net.link import Link
+from repro.net.packet import FlowId
+from repro.net.trace import Trace
+from repro.sim.simulator import Simulator
+from repro.wiring import wire_flow
+from repro.workload.spec import FlowSpec
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """One completed flow: slot, incarnation, lifetime and size."""
+
+    slot: int
+    incarnation: int
+    start: float
+    end: float
+    packets: int
+
+    @property
+    def duration(self) -> float:
+        """Flow completion time in seconds."""
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class BottleneckSpec:
+    """A secondary bottleneck after the limiter (Figure 3's 8.5 Mbps hop)."""
+
+    rate: float
+    buffer_bytes: float
+    delay: float = 0.0
+
+
+class FlowRunner:
+    """Drives one flow slot: launches incarnations, tracks completions."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: FlowSpec,
+        *,
+        aggregate: int,
+        limiter_ingress: object,
+        data_demux: FlowDemux,
+        rng: Random,
+        horizon: float,
+    ) -> None:
+        self._sim = sim
+        self.spec = spec
+        self._aggregate = aggregate
+        self._ingress = limiter_ingress
+        self._demux = data_demux
+        self._rng = rng
+        self._horizon = horizon
+        self._incarnation = 0
+        self._starts: dict[int, float] = {}
+        self.records: list[FlowRecord] = []
+        self.senders: list[TcpSender] = []
+        self._launch(at=spec.start)
+
+    @property
+    def current_sender(self) -> TcpSender | None:
+        """The most recently launched sender, if any."""
+        return self.senders[-1] if self.senders else None
+
+    def _launch(self, at: float) -> None:
+        if at >= self._horizon:
+            return
+        spec = self.spec
+        flow = FlowId(self._aggregate, spec.slot, self._incarnation)
+        self._starts[self._incarnation] = at
+        self._incarnation += 1
+
+        packets: int | None
+        if spec.on_off is not None:
+            mean = spec.on_off.burst_packets_mean
+            packets = max(
+                spec.on_off.min_burst_packets, int(self._rng.expovariate(1.0 / mean))
+            )
+        else:
+            packets = spec.packets
+
+        sender = wire_flow(
+            self._sim,
+            flow,
+            cc=spec.cc,
+            rtt=spec.rtt,
+            ingress=self._ingress,
+            demux=self._demux,
+            packets=packets,
+            start=at,
+            on_complete=self._on_complete,
+            ecn=spec.ecn,
+        )
+        self.senders.append(sender)
+
+    def _on_complete(self, sender: TcpSender, now: float) -> None:
+        total = sender.snd_una
+        self.records.append(
+            FlowRecord(
+                slot=self.spec.slot,
+                incarnation=sender.flow.incarnation,
+                start=self._flow_start(sender),
+                end=now,
+                packets=total,
+            )
+        )
+        if self.spec.on_off is not None:
+            off = self._rng.expovariate(1.0 / self.spec.on_off.off_time_mean) \
+                if self.spec.on_off.off_time_mean > 0 else 0.0
+            self._launch(at=now + off)
+
+    def _flow_start(self, sender: TcpSender) -> float:
+        return self._starts[sender.flow.incarnation]
+
+
+class AggregateScenario:
+    """One rate-limited aggregate, end to end.
+
+    Parameters
+    ----------
+    limiter:
+        Any :class:`~repro.limiters.base.RateLimiter` (connected here).
+    specs:
+        Flow slots inside the aggregate.
+    bottleneck:
+        Optional secondary bottleneck between limiter and receiver.
+    horizon:
+        Run length in seconds — on-off slots stop relaunching past it.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        *,
+        limiter: RateLimiter,
+        specs: Sequence[FlowSpec],
+        rng: Random,
+        aggregate: int = 0,
+        bottleneck: BottleneckSpec | None = None,
+        horizon: float = 30.0,
+    ) -> None:
+        if not specs:
+            raise ValueError("need at least one flow spec")
+        slots = [s.slot for s in specs]
+        if len(set(slots)) != len(slots):
+            raise ValueError("flow slots must be unique within an aggregate")
+        self.sim = sim
+        self.limiter = limiter
+        self.horizon = horizon
+
+        self.demux = FlowDemux()
+        self.trace = Trace(sim, self.demux, data_only=True, name="receiver")
+        if bottleneck is not None:
+            self.bottleneck: Link | None = Link(
+                sim,
+                bottleneck.rate,
+                bottleneck.delay,
+                self.trace,
+                buffer_bytes=bottleneck.buffer_bytes,
+                name="secondary-bottleneck",
+            )
+            limiter.connect(self.bottleneck)
+        else:
+            self.bottleneck = None
+            limiter.connect(self.trace)
+
+        self.runners = [
+            FlowRunner(
+                sim,
+                spec,
+                aggregate=aggregate,
+                limiter_ingress=limiter,
+                data_demux=self.demux,
+                rng=Random(rng.getrandbits(64)),
+                horizon=horizon,
+            )
+            for spec in specs
+        ]
+
+    def run(self, until: float | None = None) -> None:
+        """Run the simulation to ``until`` (default: the horizon)."""
+        self.sim.run(until=self.horizon if until is None else until)
+
+    @property
+    def flow_records(self) -> list[FlowRecord]:
+        """Completion records across all slots."""
+        records: list[FlowRecord] = []
+        for runner in self.runners:
+            records.extend(runner.records)
+        return records

@@ -1,0 +1,5 @@
+"""Packet schedulers realizing policy trees on real packet queues."""
+
+from repro.sched.drr import HierarchicalDrrScheduler
+
+__all__ = ["HierarchicalDrrScheduler"]

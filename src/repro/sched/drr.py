@@ -1,0 +1,149 @@
+"""Hierarchical deficit round robin over a policy tree.
+
+This is the packet-granularity scheduler a policy-rich shaper runs (§2.1):
+at every tree node, strict priority picks the child group, and deficit round
+robin (Shreedhar & Varghese) splits service within the group proportionally
+to weights.  The long-run byte shares converge to the fluid (GPS) shares
+returned by :meth:`repro.policy.Policy.fluid_rates` — a property the test
+suite checks for random trees.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.policy.tree import ClassNode, Leaf, Node, Policy
+from repro.units import MSS
+
+
+class _SchedNode:
+    """Mutable scheduling state mirroring one policy-tree node."""
+
+    __slots__ = ("spec", "leaves", "children", "deficit", "cursor", "last_child")
+
+    def __init__(self, spec: Node, quantum: float) -> None:
+        self.spec = spec
+        if isinstance(spec, Leaf):
+            self.children: list[_SchedNode] = []
+            self.leaves: tuple[int, ...] = (spec.queue,)
+        else:
+            self.children = [_SchedNode(c, quantum) for c in spec.children]
+            leaves: list[int] = []
+            for child in self.children:
+                leaves.extend(child.leaves)
+            self.leaves = tuple(leaves)
+        # Deficit counter for *this* node as seen by its parent.
+        self.deficit = 0.0
+        # Round-robin cursor over this node's children.
+        self.cursor = 0
+        self.last_child: _SchedNode | None = None
+
+    def is_active(self, heads: Sequence[int | None]) -> bool:
+        return any(heads[q] is not None for q in self.leaves)
+
+
+class HierarchicalDrrScheduler:
+    """Selects which queue a shaper should dequeue from next.
+
+    Usage::
+
+        sched = HierarchicalDrrScheduler(policy)
+        q = sched.select(head_sizes)   # head_sizes[i] = head pkt bytes or None
+        ... pop from queue q ...
+        sched.charge(size)             # account the dequeued bytes
+
+    ``select``/``charge`` must alternate; ``charge`` bills the bytes along
+    the path chosen by the preceding ``select``.
+    """
+
+    def __init__(self, policy: Policy, *, quantum: float = MSS) -> None:
+        if quantum <= 0:
+            raise ValueError(f"quantum must be positive, got {quantum!r}")
+        self._policy = policy
+        self._quantum = float(quantum)
+        self._root = _SchedNode(policy.root, quantum)
+        self._path: list[_SchedNode] = []
+
+    @property
+    def policy(self) -> Policy:
+        """The policy tree this scheduler realizes."""
+        return self._policy
+
+    def select(self, heads: Sequence[int | None]) -> int | None:
+        """Pick the next queue to serve, or ``None`` if all are empty.
+
+        ``heads[i]`` is the size in bytes of queue ``i``'s head packet, or
+        ``None`` when the queue is empty.
+        """
+        if len(heads) != self._policy.num_queues:
+            raise ValueError(
+                f"expected {self._policy.num_queues} head sizes, got {len(heads)}"
+            )
+        self._path = []
+        queue = self._select_from(self._root, heads)
+        return queue
+
+    def charge(self, nbytes: float) -> None:
+        """Bill ``nbytes`` to every node on the last selected path."""
+        for node in self._path:
+            node.deficit -= nbytes
+        self._path = []
+
+    def _select_from(self, node: _SchedNode, heads: Sequence[int | None]) -> int | None:
+        if isinstance(node.spec, Leaf):
+            return node.spec.queue if heads[node.spec.queue] is not None else None
+
+        live = [c for c in node.children if c.is_active(heads)]
+        if not live:
+            return None
+        # Reset state of children that went idle: classic DRR zeroes the
+        # deficit of an emptied queue so it cannot hoard credit.
+        for child in node.children:
+            if child not in live:
+                child.deficit = 0.0
+
+        top = min(c.spec.priority for c in live)
+        winners = [c for c in live if c.spec.priority == top]
+
+        # DRR among winners: rotate, topping up weight-scaled quanta until
+        # some child can afford the packet its subtree would emit next.
+        if node.cursor >= len(winners):
+            node.cursor = 0
+        guard = 0
+        max_rounds = 4 * len(winners) + 8
+        while True:
+            child = winners[node.cursor % len(winners)]
+            cost = self._peek_cost(child, heads)
+            if cost is not None and child.deficit >= cost:
+                self._path.append(child)
+                return self._select_from(child, heads)
+            child.deficit += self._quantum * child.spec.weight
+            node.cursor = (node.cursor + 1) % len(winners)
+            guard += 1
+            if guard > max_rounds:
+                # Quantum top-ups are unbounded above packet sizes, so this
+                # only trips on absurd quantum/packet ratios; serve the
+                # current child rather than loop forever.
+                self._path.append(child)
+                return self._select_from(child, heads)
+
+    def _peek_cost(self, node: _SchedNode, heads: Sequence[int | None]) -> int | None:
+        """Size of the packet this subtree would emit if selected now."""
+        if isinstance(node.spec, Leaf):
+            return heads[node.spec.queue]
+        live = [c for c in node.children if c.is_active(heads)]
+        if not live:
+            return None
+        top = min(c.spec.priority for c in live)
+        winners = [c for c in live if c.spec.priority == top]
+        child = winners[node.cursor % len(winners)] if winners else None
+        if child is None:
+            return None
+        cost = self._peek_cost(child, heads)
+        if cost is None:
+            # Cursor points at a stale child; fall back to any live child.
+            cost = next(
+                (c2 for c2 in (self._peek_cost(w, heads) for w in winners) if c2),
+                None,
+            )
+        return cost

@@ -1,0 +1,13 @@
+"""Discrete-event simulation engine.
+
+The engine is deliberately tiny: a binary-heap event queue with a stable
+tie-break, a monotonically advancing clock, and cancellable timers.  All
+higher layers (links, TCP endpoints, rate limiters) are plain callback-driven
+objects that hold a reference to the :class:`~repro.sim.simulator.Simulator`.
+"""
+
+from repro.sim.events import EventHandle
+from repro.sim.rng import RngFactory
+from repro.sim.simulator import Simulator
+
+__all__ = ["EventHandle", "RngFactory", "Simulator"]

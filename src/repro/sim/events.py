@@ -1,0 +1,56 @@
+"""Event handles for the simulator's pending-event heap."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+
+class EventHandle:
+    """A scheduled callback, orderable by (time, insertion sequence).
+
+    Cancellation is lazy: :meth:`cancel` marks the handle and the simulator
+    discards it when it reaches the top of the heap.  This keeps ``cancel``
+    O(1), which matters because retransmission timers are rescheduled on
+    every ACK.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple[Any, ...],
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will never fire."""
+        self.cancelled = True
+        # Drop references early so cancelled timers don't pin objects alive
+        # while they sink through the heap.
+        self.callback = _noop
+        self.args = ()
+
+    @property
+    def active(self) -> bool:
+        """True if the event has not been cancelled (it may have fired)."""
+        return not self.cancelled
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time:.6f}, seq={self.seq}, {state})"
+
+
+def _noop(*_args: Any) -> None:
+    """Placeholder callback installed on cancelled events."""

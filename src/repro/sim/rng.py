@@ -1,0 +1,43 @@
+"""Seeded random-number streams.
+
+Every source of randomness in a run derives from one root seed through a
+named stream, so changing one component's draw pattern never perturbs the
+others and runs are reproducible across processes (no ``hash()`` of strings,
+which is salted per-process).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+class RngFactory:
+    """Derives independent ``random.Random`` streams from a root seed.
+
+    >>> rngs = RngFactory(seed=7)
+    >>> a = rngs.stream("flows", 3)
+    >>> b = rngs.stream("flows", 3)
+    >>> a.random() == b.random()
+    True
+    """
+
+    def __init__(self, seed: int) -> None:
+        self._seed = int(seed)
+
+    @property
+    def seed(self) -> int:
+        """The root seed this factory derives streams from."""
+        return self._seed
+
+    def stream(self, *names: object) -> random.Random:
+        """Return a fresh RNG for the stream identified by ``names``."""
+        label = ":".join(str(n) for n in names)
+        digest = hashlib.sha256(f"{self._seed}|{label}".encode()).digest()
+        return random.Random(int.from_bytes(digest[:8], "big"))
+
+    def derive(self, *names: object) -> "RngFactory":
+        """Return a child factory whose streams are namespaced by ``names``."""
+        label = ":".join(str(n) for n in names)
+        digest = hashlib.sha256(f"{self._seed}|sub|{label}".encode()).digest()
+        return RngFactory(int.from_bytes(digest[:8], "big"))

@@ -1,0 +1,129 @@
+"""The discrete-event simulator core."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from repro.sim.events import EventHandle
+
+
+class SimulationError(RuntimeError):
+    """Raised on scheduling misuse (e.g. scheduling into the past)."""
+
+
+class Simulator:
+    """A minimal deterministic discrete-event simulator.
+
+    Events scheduled for the same instant fire in insertion order, which
+    makes runs bit-for-bit reproducible.  Time is a float in seconds and
+    only moves forward.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(1.0, fired.append, "a")
+    >>> _ = sim.schedule(0.5, fired.append, "b")
+    >>> sim.run()
+    >>> fired
+    ['b', 'a']
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: list[EventHandle] = []
+        self._seq = 0
+        self._events_processed = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events that have fired so far."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still in the heap (including cancelled ones)."""
+        return len(self._heap)
+
+    def schedule(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute simulation ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time!r}, now is t={self._now!r}"
+            )
+        handle = EventHandle(time, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def cancel(self, handle: EventHandle | None) -> None:
+        """Cancel a pending event; cancelling ``None`` or twice is a no-op."""
+        if handle is not None:
+            handle.cancel()
+
+    def peek_time(self) -> float | None:
+        """Time of the next live event, or ``None`` if the heap is drained."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def step(self) -> bool:
+        """Fire the next live event.  Returns ``False`` when none remain."""
+        self._drop_cancelled()
+        if not self._heap:
+            return False
+        event = heapq.heappop(self._heap)
+        self._now = event.time
+        self._events_processed += 1
+        event.callback(*event.args)
+        return True
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Run events until the heap drains, ``until`` is reached, or
+        ``max_events`` have fired in this call.
+
+        When stopped by ``until``, the clock is advanced to exactly ``until``
+        so that follow-up measurements read a consistent end time.
+        """
+        if self._running:
+            raise SimulationError("run() re-entered from within an event")
+        self._running = True
+        fired = 0
+        try:
+            while True:
+                if max_events is not None and fired >= max_events:
+                    return
+                next_time = self.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+                fired += 1
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+
+    def _drop_cancelled(self) -> None:
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)

@@ -1,0 +1,49 @@
+"""Low-level flow wiring shared by scenarios and application models."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.cc.base import make_cc
+from repro.cc.endpoint import FlowDemux, TcpReceiver, TcpSender
+from repro.net.packet import FlowId
+from repro.net.pipe import Pipe
+from repro.sim.simulator import Simulator
+
+
+def wire_flow(
+    sim: Simulator,
+    flow: FlowId,
+    *,
+    cc: str,
+    rtt: float,
+    ingress: object,
+    demux: FlowDemux,
+    packets: int | None,
+    start: float,
+    on_complete: Callable[[TcpSender, float], None] | None = None,
+    ecn: bool = False,
+) -> TcpSender:
+    """Create one TCP flow wired through the limiter ingress.
+
+    sender -> forward pipe (rtt/2) -> ingress; data returns via the
+    scenario's demux to a per-flow receiver whose ACKs travel a reverse
+    pipe (rtt/2) back to the sender.  Used by the scenario's
+    :class:`~repro.scenario.FlowRunner` and by the application models
+    (video/web sessions).
+    """
+    forward = Pipe(sim, rtt / 2.0, ingress)  # type: ignore[arg-type]
+    sender = TcpSender(
+        sim,
+        flow,
+        make_cc(cc),
+        forward,
+        total_packets=packets,
+        start_time=start,
+        on_complete=on_complete,
+        initial_rtt=rtt,
+        ecn=ecn,
+    )
+    reverse = Pipe(sim, rtt / 2.0, sender)
+    demux.register(flow, TcpReceiver(sim, reverse))
+    return sender

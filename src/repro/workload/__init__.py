@@ -1,0 +1,31 @@
+"""Workload descriptions and generators."""
+
+from repro.workload.aggregates import (
+    AggregateSpec,
+    Section61Config,
+    make_section61_aggregates,
+)
+from repro.workload.spec import FlowSpec, OnOffSpec
+from repro.workload.video import (
+    DEFAULT_LADDER_MBPS,
+    VideoConfig,
+    VideoSession,
+    VideoStats,
+)
+from repro.workload.web import PageRecord, WebConfig, WebSession, WebStats
+
+__all__ = [
+    "AggregateSpec",
+    "DEFAULT_LADDER_MBPS",
+    "FlowSpec",
+    "OnOffSpec",
+    "PageRecord",
+    "Section61Config",
+    "VideoConfig",
+    "VideoSession",
+    "VideoStats",
+    "WebConfig",
+    "WebSession",
+    "WebStats",
+    "make_section61_aggregates",
+]

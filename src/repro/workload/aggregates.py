@@ -1,0 +1,139 @@
+"""The §6.1 rate-enforcement workload generator.
+
+The paper enforces rates on 100 flow aggregates.  Aggregates are split:
+
+* half *homogeneous* (every flow shares one CC algorithm and one RTT),
+  half *heterogeneous* (mixed CCs, mixed RTTs drawn from 2–50 ms);
+* within each half, a third of the aggregates carry only backlogged
+  flows, a third only short on-and-off flows, and a third both.
+
+Flow sizes for on-off slots range from tens of KB to a few MB (the paper:
+"10s of KBs to 100s of MBs"; the upper end is scaled by ``size_scale`` so
+scaled-down runs finish — at full scale pass ``size_scale=100``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from random import Random
+
+from repro.units import MSS, ms
+from repro.workload.spec import FlowSpec, OnOffSpec
+
+#: CC algorithms in the §6.1 mix.
+CC_CHOICES = ("reno", "cubic", "bbr", "vegas")
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate: its enforced rate and flow slots."""
+
+    aggregate_id: int
+    rate: float
+    flows: tuple[FlowSpec, ...]
+    max_rtt: float
+    kind: str = "mixed"  # backlogged | onoff | mixed
+    homogeneous: bool = False
+
+    @property
+    def num_slots(self) -> int:
+        """Number of flow slots (= queues the limiter needs)."""
+        return len(self.flows)
+
+
+@dataclass
+class Section61Config:
+    """Knobs for the §6.1 workload, defaulting to a scaled-down run."""
+
+    num_aggregates: int = 12
+    rates: tuple[float, ...] = ()  # filled in __post_init__
+    flows_per_aggregate: int = 4
+    min_rtt: float = ms(2)
+    max_rtt: float = ms(50)
+    size_scale: float = 1.0
+    horizon: float = 10.0
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.rates:
+            from repro.units import mbps
+
+            self.rates = (mbps(1.5), mbps(7.5), mbps(25.0))
+        if self.num_aggregates < 1:
+            raise ValueError("need at least one aggregate")
+        if self.flows_per_aggregate < 1:
+            raise ValueError("need at least one flow per aggregate")
+
+
+def make_section61_aggregates(config: Section61Config) -> list[AggregateSpec]:
+    """Generate the aggregate mix deterministically from ``config.seed``."""
+    rng = Random(config.seed)
+    aggregates: list[AggregateSpec] = []
+    kinds = ("backlogged", "onoff", "mixed")
+    for agg_id in range(config.num_aggregates):
+        rate = config.rates[agg_id % len(config.rates)]
+        homogeneous = agg_id % 2 == 0
+        kind = kinds[(agg_id // 2) % len(kinds)]
+        flows = _make_flows(
+            rng,
+            config,
+            homogeneous=homogeneous,
+            kind=kind,
+        )
+        aggregates.append(
+            AggregateSpec(
+                aggregate_id=agg_id,
+                rate=rate,
+                flows=tuple(flows),
+                max_rtt=config.max_rtt,
+                kind=kind,
+                homogeneous=homogeneous,
+            )
+        )
+    return aggregates
+
+
+def _make_flows(
+    rng: Random,
+    config: Section61Config,
+    *,
+    homogeneous: bool,
+    kind: str,
+) -> list[FlowSpec]:
+    n = config.flows_per_aggregate
+    shared_cc = rng.choice(CC_CHOICES)
+    shared_rtt = rng.uniform(config.min_rtt, config.max_rtt)
+    flows: list[FlowSpec] = []
+    for slot in range(n):
+        cc = shared_cc if homogeneous else rng.choice(CC_CHOICES)
+        rtt = shared_rtt if homogeneous else rng.uniform(
+            config.min_rtt, config.max_rtt
+        )
+        if kind == "backlogged":
+            on_off = None
+        elif kind == "onoff":
+            on_off = _make_onoff(rng, config)
+        else:
+            on_off = _make_onoff(rng, config) if slot % 2 == 1 else None
+        flows.append(
+            FlowSpec(
+                slot=slot,
+                cc=cc,
+                rtt=rtt,
+                packets=None if on_off is None else None,
+                start=rng.uniform(0.0, min(1.0, config.horizon / 10.0)),
+                on_off=on_off,
+            )
+        )
+    return flows
+
+
+def _make_onoff(rng: Random, config: Section61Config) -> OnOffSpec:
+    # Bursts from tens of KB up to a few MB (scaled): log-uniform draw.
+    lo_kb, hi_kb = 30.0, 3000.0 * config.size_scale
+    import math
+
+    kb = math.exp(rng.uniform(math.log(lo_kb), math.log(hi_kb)))
+    packets = max(int(kb * 1e3 / MSS), 5)
+    off = rng.uniform(0.1, 1.0)
+    return OnOffSpec(burst_packets_mean=packets, off_time_mean=off)

@@ -1,0 +1,206 @@
+"""Chunk-based adaptive-bitrate video client (§6.4.1's workload model).
+
+Stands in for the paper's real YouTube/Netflix sessions inside Mahimahi:
+a client fetches fixed-duration chunks over TCP, choosing the next chunk's
+bitrate with a buffer-based rate-adaptation rule (BBA-style), and plays
+chunks back in real time.  The service's transport matters: YouTube ≈ BBR,
+Netflix ≈ New Reno (§3.5); pass ``cc`` accordingly.
+
+QoE outputs: average quality level / bitrate, rebuffering time, and number
+of quality switches — the ingredients of Figure 7a and Figure 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cc.endpoint import FlowDemux, TcpSender
+from repro.net.packet import FlowId
+from repro.wiring import wire_flow
+from repro.sim.simulator import Simulator
+from repro.units import MSS, mbps
+
+#: A YouTube-like bitrate ladder, Mbit/s (240p .. 1080p).
+DEFAULT_LADDER_MBPS = (0.3, 0.75, 1.2, 1.85, 2.85, 4.3)
+
+
+@dataclass
+class VideoConfig:
+    """ABR client knobs."""
+
+    ladder_mbps: tuple[float, ...] = DEFAULT_LADDER_MBPS
+    chunk_seconds: float = 4.0
+    #: Buffer level below which the client panics to the lowest quality.
+    reservoir_seconds: float = 5.0
+    #: Buffer level at which the client requests the highest quality.
+    cushion_seconds: float = 20.0
+    #: Stop fetching ahead once this much content is buffered.
+    max_buffer_seconds: float = 30.0
+    #: Total session length in chunks (None = keep fetching forever).
+    total_chunks: int | None = None
+    cc: str = "bbr"
+    rtt: float = 0.04
+
+
+@dataclass
+class VideoStats:
+    """Per-session QoE accounting."""
+
+    chunks_fetched: int = 0
+    quality_history: list[int] = field(default_factory=list)
+    rebuffer_seconds: float = 0.0
+    rebuffer_events: int = 0
+    quality_switches: int = 0
+    fetch_times: list[float] = field(default_factory=list)
+
+    def average_quality(self) -> float:
+        """Mean ladder index over fetched chunks (0 = lowest)."""
+        if not self.quality_history:
+            return 0.0
+        return sum(self.quality_history) / len(self.quality_history)
+
+    def average_bitrate(self, ladder_mbps: tuple[float, ...]) -> float:
+        """Mean selected bitrate in Mbit/s."""
+        if not self.quality_history:
+            return 0.0
+        return sum(ladder_mbps[q] for q in self.quality_history) / len(
+            self.quality_history
+        )
+
+
+class VideoSession:
+    """One ABR video stream inside an aggregate.
+
+    Chunks are fetched back-to-back as finite TCP flows in a single slot
+    (successive incarnations), so the limiter sees one long-lived video
+    "flow" in one queue.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        *,
+        ingress: object,
+        demux: FlowDemux,
+        config: VideoConfig | None = None,
+        aggregate: int = 0,
+        slot: int = 0,
+        start: float = 0.0,
+    ) -> None:
+        self._sim = sim
+        self._ingress = ingress
+        self._demux = demux
+        self.config = config or VideoConfig()
+        self._aggregate = aggregate
+        self._slot = slot
+        self.stats = VideoStats()
+
+        self._buffer = 0.0  # seconds of content buffered
+        self._playing = False
+        self._last_buffer_update = start
+        self._incarnation = 0
+        self._fetch_started_at = 0.0
+        self._current_quality = 0
+        self._done = False
+        sim.schedule_at(max(start, sim.now), self._fetch_next)
+
+    @property
+    def buffer_seconds(self) -> float:
+        """Current playback buffer level (drained to 'now')."""
+        self._drain_buffer()
+        return self._buffer
+
+    @property
+    def done(self) -> bool:
+        """True when a finite session has fetched all its chunks."""
+        return self._done
+
+    # ------------------------------------------------------------------
+    # Playback model
+    # ------------------------------------------------------------------
+
+    def _drain_buffer(self) -> None:
+        now = self._sim.now
+        elapsed = now - self._last_buffer_update
+        self._last_buffer_update = now
+        if not self._playing or elapsed <= 0:
+            return
+        if self._buffer >= elapsed:
+            self._buffer -= elapsed
+        else:
+            stall = elapsed - self._buffer
+            if self._buffer > 0 or stall > 0:
+                self.stats.rebuffer_seconds += stall
+            self._buffer = 0.0
+
+    # ------------------------------------------------------------------
+    # ABR decision (buffer-based, BBA-style)
+    # ------------------------------------------------------------------
+
+    def _choose_quality(self) -> int:
+        cfg = self.config
+        level_count = len(cfg.ladder_mbps)
+        buf = self.buffer_seconds
+        if buf <= cfg.reservoir_seconds:
+            return 0
+        if buf >= cfg.cushion_seconds:
+            return level_count - 1
+        frac = (buf - cfg.reservoir_seconds) / (
+            cfg.cushion_seconds - cfg.reservoir_seconds
+        )
+        return min(int(frac * level_count), level_count - 1)
+
+    # ------------------------------------------------------------------
+    # Fetch loop
+    # ------------------------------------------------------------------
+
+    def _fetch_next(self) -> None:
+        cfg = self.config
+        if self._done:
+            return
+        if (
+            cfg.total_chunks is not None
+            and self.stats.chunks_fetched >= cfg.total_chunks
+        ):
+            self._done = True
+            return
+        if self.buffer_seconds >= cfg.max_buffer_seconds:
+            # Buffer full: wait until a chunk's worth has played out.
+            self._sim.schedule(cfg.chunk_seconds / 2.0, self._fetch_next)
+            return
+
+        quality = self._choose_quality()
+        if self.stats.quality_history and quality != self._current_quality:
+            self.stats.quality_switches += 1
+        self._current_quality = quality
+
+        chunk_bytes = mbps(cfg.ladder_mbps[quality]) * cfg.chunk_seconds
+        packets = max(int(chunk_bytes / MSS), 1)
+        flow = FlowId(self._aggregate, self._slot, self._incarnation)
+        self._incarnation += 1
+        self._fetch_started_at = self._sim.now
+        self.stats.quality_history.append(quality)
+        wire_flow(
+            self._sim,
+            flow,
+            cc=cfg.cc,
+            rtt=cfg.rtt,
+            ingress=self._ingress,
+            demux=self._demux,
+            packets=packets,
+            start=self._sim.now,
+            on_complete=self._on_chunk_done,
+        )
+
+    def _on_chunk_done(self, sender: TcpSender, now: float) -> None:
+        del sender
+        was_stalled = self._playing and self.buffer_seconds <= 0
+        self._drain_buffer()
+        self._buffer += self.config.chunk_seconds
+        self.stats.chunks_fetched += 1
+        self.stats.fetch_times.append(now - self._fetch_started_at)
+        if was_stalled:
+            self.stats.rebuffer_events += 1
+        if not self._playing:
+            self._playing = True  # startup complete: playback begins
+        self._fetch_next()

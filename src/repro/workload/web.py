@@ -1,0 +1,165 @@
+"""Synthetic web-browsing workload (§6.4.2's page loads).
+
+A page load fetches a set of objects over short parallel TCP flows; the
+page-load time (PLT) is when the last object completes.  Object counts and
+sizes follow heavy-tailed distributions fitted loosely to published web
+measurements (median page ~1.5 MB over ~50 objects; we scale down to keep
+scaled runs quick — the *relative* PLTs across schemes are what Figure 7b
+compares).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from random import Random
+
+from repro.cc.endpoint import FlowDemux, TcpSender
+from repro.net.packet import FlowId
+from repro.wiring import wire_flow
+from repro.sim.simulator import Simulator
+from repro.units import MSS
+
+
+@dataclass
+class WebConfig:
+    """Page-load model knobs."""
+
+    pages: int = 50
+    #: Mean object count per page (geometric-ish).
+    objects_per_page_mean: float = 12.0
+    #: Log-normal object size parameters (bytes).
+    object_size_median: float = 30_000.0
+    object_size_sigma: float = 1.0
+    #: Maximum concurrent connections (browser-like).
+    parallel_connections: int = 6
+    #: Think time between pages, seconds (exponential mean).
+    think_time_mean: float = 0.5
+    cc: str = "cubic"
+    rtt: float = 0.04
+
+
+@dataclass
+class PageRecord:
+    """One completed page load."""
+
+    index: int
+    start: float
+    end: float
+    objects: int
+    total_bytes: int
+
+    @property
+    def plt(self) -> float:
+        """Page-load time in seconds."""
+        return self.end - self.start
+
+
+@dataclass
+class WebStats:
+    """Session-level results."""
+
+    pages: list[PageRecord] = field(default_factory=list)
+
+    def plts(self) -> list[float]:
+        """Completed page-load times."""
+        return [p.plt for p in self.pages]
+
+
+class WebSession:
+    """Sequential page loads over short parallel flows in one slot."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        *,
+        ingress: object,
+        demux: FlowDemux,
+        rng: Random,
+        config: WebConfig | None = None,
+        aggregate: int = 0,
+        slot: int = 0,
+        start: float = 0.0,
+    ) -> None:
+        self._sim = sim
+        self._ingress = ingress
+        self._demux = demux
+        self._rng = rng
+        self.config = config or WebConfig()
+        self._aggregate = aggregate
+        self._slot = slot
+        self.stats = WebStats()
+
+        self._incarnation = 0
+        self._page_index = 0
+        self._pending_objects: list[int] = []  # packet counts
+        self._inflight = 0
+        self._page_start = 0.0
+        self._page_bytes = 0
+        self._page_objects = 0
+        sim.schedule_at(max(start, sim.now), self._start_page)
+
+    @property
+    def done(self) -> bool:
+        """True when all configured pages have loaded."""
+        return len(self.stats.pages) >= self.config.pages
+
+    def _start_page(self) -> None:
+        if self.done:
+            return
+        cfg = self.config
+        count = max(1, int(self._rng.expovariate(1.0 / cfg.objects_per_page_mean)))
+        mu = math.log(cfg.object_size_median)
+        sizes = [
+            max(int(self._rng.lognormvariate(mu, cfg.object_size_sigma)), 400)
+            for _ in range(count)
+        ]
+        self._pending_objects = [max(1, -(-s // MSS)) for s in sizes]
+        self._page_start = self._sim.now
+        self._page_bytes = sum(sizes)
+        self._page_objects = count
+        self._inflight = 0
+        self._pump()
+
+    def _pump(self) -> None:
+        cfg = self.config
+        while self._pending_objects and self._inflight < cfg.parallel_connections:
+            packets = self._pending_objects.pop()
+            flow = FlowId(self._aggregate, self._slot, self._incarnation)
+            self._incarnation += 1
+            self._inflight += 1
+            wire_flow(
+                self._sim,
+                flow,
+                cc=cfg.cc,
+                rtt=cfg.rtt,
+                ingress=self._ingress,
+                demux=self._demux,
+                packets=packets,
+                start=self._sim.now,
+                on_complete=self._on_object_done,
+            )
+
+    def _on_object_done(self, sender: TcpSender, now: float) -> None:
+        del sender
+        self._inflight -= 1
+        if self._pending_objects:
+            self._pump()
+            return
+        if self._inflight > 0:
+            return
+        # Page complete.
+        self.stats.pages.append(
+            PageRecord(
+                index=self._page_index,
+                start=self._page_start,
+                end=now,
+                objects=self._page_objects,
+                total_bytes=self._page_bytes,
+            )
+        )
+        self._page_index += 1
+        if not self.done:
+            think = self._rng.expovariate(1.0 / self.config.think_time_mean) \
+                if self.config.think_time_mean > 0 else 0.0
+            self._sim.schedule(think, self._start_page)

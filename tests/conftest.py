@@ -1,0 +1,11 @@
+"""Test-suite configuration: deterministic property testing.
+
+The whole library is deterministic by construction; the test suite should
+be too, so hypothesis runs derandomized (CI failures reproduce locally)
+and without deadlines (simulation-heavy properties vary in wall time).
+"""
+
+from hypothesis import settings
+
+settings.register_profile("repro", deadline=None, derandomize=True)
+settings.load_profile("repro")

@@ -1,0 +1,145 @@
+"""Tests for BC-PQP's burst-control mechanism."""
+
+import pytest
+
+from repro.classify.classifier import SlotClassifier
+from repro.core.bcpqp import BCPQP
+from repro.net.packet import FlowId, Packet
+from repro.net.sink import NullSink
+from repro.policy.tree import Policy
+from repro.sim.simulator import Simulator
+
+
+def make(sim, *, rate=15_000.0, n=2, queue_bytes=150_000.0,
+         theta_plus=1.5, theta_minus=0.5, period=0.1):
+    bc = BCPQP(sim, rate=rate, policy=Policy.fair(n),
+               classifier=SlotClassifier(n), queue_bytes=queue_bytes,
+               theta_plus=theta_plus, theta_minus=theta_minus, period=period)
+    bc.connect(NullSink())
+    return bc
+
+
+def pkt(slot, seq=0, size=1500):
+    return Packet.data(FlowId(0, slot), seq, 0.0, size=size)
+
+
+class TestBurstControl:
+    def test_burst_beyond_threshold_triggers_magic_fill(self):
+        sim = Simulator()
+        # Fair share of queue 0 with only itself active = full rate.
+        # X_0 = 15000 B/s x 0.1 s = 1500 B; the fill ceiling is
+        # max(theta+ X, X + 2 MSS) = 4500 B.
+        bc = make(sim)
+        for i in range(3):
+            bc.receive(pkt(0, i))  # 4500 B accepted: at the ceiling
+        assert bc.magic_fills == 0
+        bc.receive(pkt(0, 3))  # 6000 B > 4500 B -> fill
+        assert bc.magic_fills == 1
+        assert bc.queues.length(0) == pytest.approx(150_000.0)
+
+    def test_fill_caps_burst_at_threshold(self):
+        sim = Simulator()
+        bc = make(sim)
+        for i in range(100):
+            bc.receive(pkt(0, i))
+        # Everything after the fill is dropped until drain makes room.
+        assert bc.stats.forwarded_packets == 4
+        assert bc.stats.dropped_packets == 96
+
+    def test_steady_rate_does_not_fill(self):
+        """A flow sending exactly at its share never triggers the fill."""
+        sim = Simulator()
+        bc = make(sim, rate=15_000.0)
+
+        def arrive(i=[0]):
+            bc.receive(pkt(0, i[0]))
+            i[0] += 1
+            sim.schedule(0.1, arrive)  # 15 kB/s = exactly the rate
+
+        sim.schedule(0.0, arrive)
+        sim.run(until=10.0)
+        assert bc.magic_fills == 0
+        assert bc.stats.dropped_packets == 0
+
+    def test_idle_queue_magic_reclaimed(self):
+        sim = Simulator()
+        bc = make(sim)
+        for i in range(5):
+            bc.receive(pkt(0, i))  # burst past the ceiling -> fill
+        assert bc.queues.magic_bytes(0) > 0
+        sim.run(until=1.0)  # flow goes silent; sweeps roll windows
+        assert bc.magic_reclaims >= 1
+        # The queue drains freely once the magic is gone.
+        assert bc.queues.length(0) < 150_000.0
+
+    def test_active_flow_keeps_magic(self):
+        """A flow still *sending* (even if dropped) keeps its magic —
+        the reclaim watches arrivals, not acceptances."""
+        sim = Simulator()
+        bc = make(sim, rate=15_000.0)
+        for i in range(10):
+            bc.receive(pkt(0, i))  # burst -> fill
+        assert bc.magic_fills >= 1
+
+        def arrive(i=[100]):
+            bc.receive(pkt(0, i[0]))  # keeps arriving at the full rate
+            i[0] += 1
+            sim.schedule(0.1, arrive)
+
+        sim.schedule(0.0, arrive)
+        sim.run(until=2.0)
+        assert bc.magic_reclaims == 0
+
+    def test_admission_at_drain_rate_after_fill(self):
+        sim = Simulator()
+        rate = 15_000.0
+        bc = make(sim, rate=rate)
+
+        def arrive(i=[0]):
+            for _ in range(4):  # 60 kB/s demand, 4x the rate
+                bc.receive(pkt(0, i[0]))
+                i[0] += 1
+            sim.schedule(0.1, arrive)
+
+        sim.schedule(0.0, arrive)
+        sim.run(until=20.0)
+        assert bc.stats.forwarded_bytes == pytest.approx(rate * 20, rel=0.1)
+
+    def test_share_estimate_tracks_active_set(self):
+        sim = Simulator()
+        bc = make(sim, rate=15_000.0, n=2)
+        bc.receive(pkt(0, 0))
+        # Only queue 0 active: its estimated window budget is the full rate.
+        assert bc.expected_window_bytes(0) == pytest.approx(1500.0)
+        bc.receive(pkt(1, 0))
+        # Both active: shares halve.
+        assert bc.expected_window_bytes(0) == pytest.approx(750.0)
+
+    def test_stop_cancels_sweep(self):
+        sim = Simulator()
+        bc = make(sim)
+        bc.stop()
+        sim.run(until=1.0)
+        assert sim.events_processed <= 1
+
+    def test_parameter_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            make(sim, theta_plus=0.4, theta_minus=0.5)
+        with pytest.raises(ValueError):
+            make(sim, period=0.0)
+
+    def test_window_accounting_exposed(self):
+        sim = Simulator()
+        bc = make(sim)
+        bc.receive(pkt(0, 0))
+        assert bc.accepted_window_bytes(0) == 1500.0
+        assert bc.arrived_window_bytes(0) == 1500.0
+
+    def test_arrivals_counted_even_when_dropped(self):
+        sim = Simulator()
+        bc = make(sim, queue_bytes=1500.0)
+        bc.receive(pkt(0, 0))
+        bc.receive(pkt(0, 1))  # dropped: queue full
+        assert bc.arrived_window_bytes(0) == 3000.0
+        assert bc.accepted_window_bytes(0) == 1500.0

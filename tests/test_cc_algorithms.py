@@ -1,0 +1,223 @@
+"""Unit tests for the congestion-control algorithms (no network)."""
+
+import pytest
+
+from repro.cc.base import AckSample, make_cc
+from repro.cc.bbr import Bbr
+from repro.cc.cubic import Cubic
+from repro.cc.filters import WindowedMax, WindowedMin
+from repro.cc.reno import NewReno
+from repro.cc.vegas import Vegas
+
+
+def ack(newly=1, rtt=0.1, rate=None, inflight=10.0, now=0.0):
+    return AckSample(newly_acked=newly, rtt=rtt, delivery_rate=rate,
+                     inflight=inflight, now=now)
+
+
+class TestRegistry:
+    def test_known_names(self):
+        assert isinstance(make_cc("reno"), NewReno)
+        assert isinstance(make_cc("newreno"), NewReno)
+        assert isinstance(make_cc("cubic"), Cubic)
+        assert isinstance(make_cc("BBR"), Bbr)
+        assert isinstance(make_cc("vegas"), Vegas)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_cc("quic-magic")
+
+
+class TestNewReno:
+    def test_slow_start_doubles_per_rtt(self):
+        cc = NewReno(initial_cwnd=10)
+        for _ in range(10):
+            cc.on_ack(ack())
+        assert cc.cwnd == pytest.approx(20.0)
+
+    def test_congestion_avoidance_one_per_rtt(self):
+        cc = NewReno(initial_cwnd=10)
+        cc.ssthresh = 10  # force CA
+        for _ in range(10):  # one cwnd's worth of acks
+            cc.on_ack(ack())
+        assert cc.cwnd == pytest.approx(11.0, rel=0.02)
+
+    def test_loss_event_halves(self):
+        cc = NewReno(initial_cwnd=20)
+        cc.ssthresh = 20
+        cc.on_loss_event(0.0, inflight=20)
+        assert cc.cwnd == pytest.approx(10.0)
+        assert cc.ssthresh == pytest.approx(10.0)
+
+    def test_timeout_uses_flight_size(self):
+        cc = NewReno(initial_cwnd=4)
+        cc.on_timeout(0.0, flight=40)
+        assert cc.cwnd == 1.0
+        assert cc.ssthresh == pytest.approx(20.0)
+
+    def test_cwnd_floor(self):
+        cc = NewReno(initial_cwnd=2)
+        cc.ssthresh = 2
+        for _ in range(5):
+            cc.on_loss_event(0.0, inflight=2)
+        assert cc.cwnd >= cc.MIN_CWND
+
+    def test_slow_start_exit_caps_at_ssthresh(self):
+        cc = NewReno(initial_cwnd=9)
+        cc.ssthresh = 10
+        cc.on_ack(ack(newly=5))
+        assert cc.cwnd >= 10.0
+        assert cc.cwnd < 12.0
+
+
+class TestCubic:
+    def test_grows_toward_target_after_loss(self):
+        cc = Cubic(initial_cwnd=100)
+        cc.ssthresh = 100
+        cc.on_loss_event(0.0, inflight=100)
+        assert cc.cwnd == pytest.approx(70.0)
+        w_after_loss = cc.cwnd
+        # Window regrows with time, approaching the old W_max.
+        t = 0.0
+        for _ in range(3000):
+            t += 0.01
+            cc.on_ack(ack(now=t))
+        assert cc.cwnd > w_after_loss
+        assert cc.cwnd >= 95.0
+
+    def test_growth_is_time_based_not_ack_based(self):
+        """Same elapsed time, different ack counts => similar window."""
+        def run(acks_per_rtt):
+            cc = Cubic(initial_cwnd=50)
+            cc.ssthresh = 50
+            cc.on_loss_event(0.0, inflight=50)
+            t = 0.0
+            for _ in range(int(30 * acks_per_rtt)):
+                t += 0.1 / acks_per_rtt
+                cc.on_ack(ack(newly=1, now=t))
+            return cc.cwnd
+        # Denser acks shouldn't wildly change the trajectory endpoint.
+        assert run(50) == pytest.approx(run(100), rel=0.15)
+
+    def test_timeout_resets_epoch(self):
+        cc = Cubic(initial_cwnd=50)
+        cc.on_timeout(1.0, flight=50)
+        assert cc.cwnd == 1.0
+        assert cc.ssthresh == pytest.approx(35.0)
+
+
+class TestVegas:
+    def test_increases_when_no_queueing(self):
+        cc = Vegas(initial_cwnd=10)
+        cc.ssthresh = 10  # skip slow start
+        for _ in range(50):
+            cc.on_ack(ack(rtt=0.1))  # rtt == base rtt: no queueing signal
+        assert cc.cwnd > 10
+
+    def test_backs_off_when_queue_builds(self):
+        cc = Vegas(initial_cwnd=20)
+        cc.ssthresh = 20
+        cc.on_ack(ack(rtt=0.1))  # establish base RTT
+        for _ in range(100):
+            cc.on_ack(ack(rtt=0.2))  # heavy queueing: diff >> beta
+        assert cc.cwnd < 20
+
+    def test_holds_inside_band(self):
+        cc = Vegas(initial_cwnd=10)
+        cc.ssthresh = 10
+        cc.on_ack(ack(rtt=0.1))
+        # diff = cwnd*(rtt-base)/rtt = 10*0.04/0.14 ~= 2.9, inside [2, 4].
+        for _ in range(60):
+            cc.on_ack(ack(rtt=0.14))
+        assert cc.cwnd == pytest.approx(10.0, abs=2.0)
+
+    def test_loss_halves(self):
+        cc = Vegas(initial_cwnd=16)
+        cc.ssthresh = 16
+        cc.on_loss_event(0.0, inflight=16)
+        assert cc.cwnd == pytest.approx(8.0)
+
+
+class TestBbr:
+    def feed(self, cc, *, bw, rtt, n=60, start=0.0, inflight=None):
+        t = start
+        for _ in range(n):
+            t += rtt
+            cc.on_ack(ack(rtt=rtt, rate=bw, now=t,
+                          inflight=inflight if inflight is not None else bw * rtt))
+        return t
+
+    def test_estimates_bandwidth(self):
+        cc = Bbr()
+        self.feed(cc, bw=1000.0, rtt=0.05)
+        assert cc.btl_bw() == pytest.approx(1000.0)
+        assert cc.rtprop() == pytest.approx(0.05)
+
+    def test_leaves_startup_when_bw_plateaus(self):
+        cc = Bbr()
+        self.feed(cc, bw=1000.0, rtt=0.05)
+        assert cc._state in ("drain", "probe_bw")
+
+    def test_cwnd_tracks_bdp(self):
+        cc = Bbr()
+        t = self.feed(cc, bw=1000.0, rtt=0.05)
+        self.feed(cc, bw=1000.0, rtt=0.05, start=t, n=20)
+        # cwnd ~= cwnd_gain * bw * rtprop = 2 * 50
+        assert cc.cwnd == pytest.approx(100.0, rel=0.2)
+
+    def test_pacing_rate_positive_after_estimate(self):
+        cc = Bbr()
+        self.feed(cc, bw=500.0, rtt=0.02)
+        assert cc.pacing_rate(10.0) > 0
+
+    def test_ignores_loss_events(self):
+        cc = Bbr()
+        self.feed(cc, bw=1000.0, rtt=0.05)
+        before = cc.btl_bw()
+        cc.on_loss_event(10.0, inflight=50)
+        assert cc.btl_bw() == before
+
+    def test_no_model_grows_like_slow_start(self):
+        cc = Bbr(initial_cwnd=10)
+        cc.on_ack(ack(newly=5, rtt=None, rate=None, now=0.1))
+        assert cc.cwnd == pytest.approx(15.0)
+
+
+class TestWindowedFilters:
+    def test_max_tracks_maximum(self):
+        f = WindowedMax(1.0)
+        f.update(0.0, 5.0)
+        f.update(0.5, 3.0)
+        assert f.get() == 5.0
+
+    def test_max_expires(self):
+        f = WindowedMax(1.0)
+        f.update(0.0, 5.0)
+        f.update(1.5, 3.0)
+        assert f.get(now=1.5) == 3.0
+
+    def test_min_tracks_minimum(self):
+        f = WindowedMin(10.0)
+        f.update(0.0, 0.05)
+        f.update(1.0, 0.08)
+        assert f.get() == 0.05
+
+    def test_age(self):
+        f = WindowedMin(10.0)
+        f.update(2.0, 1.0)
+        assert f.age(5.0) == pytest.approx(3.0)
+
+    def test_empty(self):
+        f = WindowedMax(1.0)
+        assert f.get() is None
+        assert f.age(0.0) is None
+
+    def test_reset(self):
+        f = WindowedMax(1.0)
+        f.update(0.0, 1.0)
+        f.reset()
+        assert f.get() is None
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            WindowedMax(0)

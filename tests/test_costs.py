@@ -1,0 +1,41 @@
+"""Tests for the operation-level cost model."""
+
+import pytest
+
+from repro.limiters.costs import CostMeter, CostTable, Op
+
+
+class TestCostMeter:
+    def test_charge_and_count(self):
+        m = CostMeter()
+        m.charge(Op.ALU, 3)
+        m.charge(Op.ALU)
+        assert m.count(Op.ALU) == 4.0
+
+    def test_cycles_weighted_sum(self):
+        m = CostMeter()
+        m.charge(Op.ALU, 10)
+        m.charge(Op.PKT_FETCH, 2)
+        table = CostTable(alu=2.0, pkt_fetch=100.0)
+        assert m.cycles(table) == pytest.approx(20 + 200)
+
+    def test_cycles_per_packet(self):
+        m = CostMeter()
+        m.charge(Op.ALU, 100)
+        assert m.cycles_per_packet(50, CostTable(alu=1.0)) == pytest.approx(2.0)
+        assert m.cycles_per_packet(0) == 0.0
+
+    def test_snapshot_and_reset(self):
+        m = CostMeter()
+        m.charge(Op.TIMER, 5)
+        assert m.snapshot()["timer"] == 5.0
+        m.reset()
+        assert m.cycles() == 0.0
+
+    def test_default_table_ordering(self):
+        """Structural sanity: memory ops cost more than ALU ops; the packet
+        fetch (pointer chase) is the most expensive single operation."""
+        t = CostTable()
+        assert t.alu < t.map < t.pkt_store
+        assert t.pkt_fetch > t.pkt_store
+        assert t.price(Op.ALU) == t.alu

@@ -1,0 +1,122 @@
+"""Tests for the FairPolicer baseline."""
+
+import pytest
+
+from repro.classify.classifier import SlotClassifier
+from repro.limiters.fair_policer import FairPolicer
+from repro.net.packet import FlowId, Packet
+from repro.net.sink import NullSink
+from repro.sim.simulator import Simulator
+
+
+def make(sim, *, rate=15_000.0, bucket=30_000.0, n=2, weights=None):
+    fp = FairPolicer(sim, rate=rate, bucket_bytes=bucket,
+                     classifier=SlotClassifier(n), weights=weights)
+    fp.connect(NullSink())
+    return fp
+
+
+def pkt(slot, seq=0, size=1500):
+    return Packet.data(FlowId(0, slot), seq, 0.0, size=size)
+
+
+def drive(sim, fp, slots, interval, until):
+    """Send one packet per listed slot every `interval` seconds."""
+    state = {"i": 0}
+
+    def tick():
+        for s in slots:
+            fp.receive(pkt(s, state["i"]))
+        state["i"] += 1
+        if sim.now + interval < until:
+            sim.schedule(interval, tick)
+
+    sim.schedule(0.0, tick)
+    sim.run(until=until)
+
+
+class TestFairPolicer:
+    def test_aggregate_rate_enforced(self):
+        sim = Simulator()
+        rate = 15_000.0
+        fp = make(sim, rate=rate, bucket=7500.0)
+        drive(sim, fp, [0, 1], interval=0.005, until=20.0)  # 600 kB/s demand
+        assert fp.stats.forwarded_bytes == pytest.approx(rate * 20, rel=0.1)
+
+    def test_equal_split_between_backlogged_flows(self):
+        sim = Simulator()
+        fp = make(sim, rate=15_000.0, bucket=7500.0)
+        sent = {0: 0, 1: 0}
+
+        class _Sink:
+            def receive(self, p):
+                sent[p.flow.slot] += 1
+
+        fp.connect(_Sink())
+        # Slot 0 sends 4x as often as slot 1 but should not get 4x through.
+        def tick(i=[0]):
+            fp.receive(pkt(0, i[0]))
+            if i[0] % 4 == 0:
+                fp.receive(pkt(1, i[0]))
+            i[0] += 1
+            sim.schedule(0.002, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run(until=20.0)
+        # Slot 1's demand (125 pkt/s x 1500 B = 187 kB/s) exceeds its fair
+        # share (7.5 kB/s), so both flows are constrained; the aggressive
+        # flow must not get more than ~2x the meek one (a plain policer
+        # would give it ~4x).
+        assert sent[1] > 0
+        assert sent[0] / sent[1] < 2.5
+
+    def test_idle_flow_tokens_reclaimed(self):
+        sim = Simulator()
+        fp = make(sim, rate=15_000.0, bucket=30_000.0)
+        fp.receive(pkt(1))  # slot 1 appears briefly, then goes idle
+        drive(sim, fp, [0], interval=0.01, until=5.0)
+        # Slot 0 should now collect (almost) the entire rate.
+        assert fp.stats.forwarded_bytes >= 0.8 * 15_000.0 * 5
+
+    def test_weighted_variant_allocates_by_weight(self):
+        sim = Simulator()
+        fp = make(sim, rate=15_000.0, bucket=7500.0, weights=[3.0, 1.0])
+        sent = {0: 0, 1: 0}
+
+        class _Sink:
+            def receive(self, p):
+                sent[p.flow.slot] += 1
+
+        fp.connect(_Sink())
+        drive(sim, fp, [0, 1], interval=0.002, until=20.0)
+        # Token grants are weight-proportional, so the heavier flow gets
+        # more — though the equal per-flow caps keep it from reaching a
+        # clean 3:1 (the §6.3.2 deficiency this baseline demonstrates).
+        assert sent[0] > sent[1]
+
+    def test_flow_bucket_accessor(self):
+        sim = Simulator()
+        fp = make(sim)
+        fp.receive(pkt(0))
+        assert fp.flow_bucket(0) >= 0.0
+
+    def test_invalid_params(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            FairPolicer(sim, rate=0, bucket_bytes=1,
+                        classifier=SlotClassifier(1))
+        with pytest.raises(ValueError):
+            FairPolicer(sim, rate=1, bucket_bytes=0,
+                        classifier=SlotClassifier(1))
+        with pytest.raises(ValueError):
+            FairPolicer(sim, rate=1, bucket_bytes=1,
+                        classifier=SlotClassifier(2), weights=[1.0])
+
+    def test_per_packet_token_work_costed(self):
+        sim = Simulator()
+        fp = make(sim)
+        for i in range(10):
+            fp.receive(pkt(0, i))
+        snap = fp.cost.snapshot()
+        assert snap["map"] == 10
+        assert snap["alu"] > 10  # per-packet generation + allocation

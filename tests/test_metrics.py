@@ -1,0 +1,197 @@
+"""Tests for metrics: fairness, stats, series, throughput extraction."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.fairness import jain_index, weighted_jain_index
+from repro.metrics.series import TimeSeries, WindowedRate
+from repro.metrics.stats import cdf_points, mean, percentile, summarize
+from repro.metrics.throughput import (
+    aggregate_throughput_series,
+    burst_factor,
+    flow_bytes,
+    per_flow_throughput_series,
+    per_slot_throughput_series,
+)
+from repro.net.packet import FlowId
+from repro.net.trace import PacketRecord
+
+
+class TestJain:
+    def test_perfect_fairness(self):
+        assert jain_index([5, 5, 5]) == pytest.approx(1.0)
+
+    def test_total_unfairness(self):
+        assert jain_index([1, 0, 0, 0]) == pytest.approx(0.25)
+
+    def test_empty_and_zero(self):
+        assert jain_index([]) == 1.0
+        assert jain_index([0, 0]) == 1.0
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1,
+                    max_size=50))
+    def test_bounds(self, values):
+        idx = jain_index(values)
+        assert 0.0 <= idx <= 1.0 + 1e-9
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=1,
+                    max_size=20),
+           st.floats(min_value=0.1, max_value=100))
+    def test_scale_invariance(self, values, k):
+        assert jain_index(values) == pytest.approx(
+            jain_index([v * k for v in values]), rel=1e-6)
+
+    def test_weighted_perfect(self):
+        assert weighted_jain_index([1, 2, 3], [1, 2, 3]) == pytest.approx(1.0)
+
+    def test_weighted_detects_violation(self):
+        # Equal throughput with weights 1:3 is unfair in weighted terms.
+        assert weighted_jain_index([2, 2], [1, 3]) < 0.9
+
+    def test_weighted_validation(self):
+        with pytest.raises(ValueError):
+            weighted_jain_index([1], [1, 2])
+        with pytest.raises(ValueError):
+            weighted_jain_index([1], [0])
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2.0
+        assert mean([]) == 0.0
+
+    def test_percentile_interpolates(self):
+        assert percentile([1, 2, 3, 4], 50) == 2.5
+        assert percentile([1, 2, 3, 4], 0) == 1
+        assert percentile([1, 2, 3, 4], 100) == 4
+
+    def test_percentile_single(self):
+        assert percentile([7], 99) == 7
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1,
+                    max_size=100),
+           st.floats(min_value=0, max_value=100))
+    def test_percentile_within_range(self, values, p):
+        result = percentile(values, p)
+        assert min(values) <= result <= max(values)
+
+    def test_cdf_points(self):
+        assert cdf_points([3, 1]) == [(1, 0.5), (3, 1.0)]
+
+    def test_summarize(self):
+        s = summarize([1, 2, 3, 4, 5])
+        assert s["mean"] == 3.0
+        assert s["max"] == 5.0
+        assert summarize([])["p99"] == 0.0
+
+
+class TestTimeSeries:
+    def test_append_and_iterate(self):
+        ts = TimeSeries()
+        ts.append(0.0, 1.0)
+        ts.append(1.0, 2.0)
+        assert list(ts) == [(0.0, 1.0), (1.0, 2.0)]
+        assert len(ts) == 2
+
+    def test_monotonic_times_enforced(self):
+        ts = TimeSeries()
+        ts.append(1.0, 1.0)
+        with pytest.raises(ValueError):
+            ts.append(0.5, 1.0)
+
+    def test_window_and_aggregates(self):
+        ts = TimeSeries()
+        for i in range(10):
+            ts.append(float(i), float(i))
+        w = ts.window(2.0, 5.0)
+        assert w.times == [2.0, 3.0, 4.0]
+        assert ts.max() == 9.0
+        assert ts.mean() == 4.5
+
+    def test_empty_aggregates(self):
+        ts = TimeSeries()
+        assert ts.max() == 0.0
+        assert ts.mean() == 0.0
+
+
+class TestWindowedRate:
+    def test_bins_bytes_into_rates(self):
+        wr = WindowedRate(1.0)
+        wr.record(0.2, 500)
+        wr.record(0.7, 500)
+        wr.record(1.5, 2000)
+        series = wr.finish(3.0)
+        assert series.values == [1000.0, 2000.0, 0.0]
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            WindowedRate(0.0)
+
+
+def rec(t, slot=0, size=1500, incarnation=0):
+    return PacketRecord(time=t, flow=FlowId(0, slot, incarnation),
+                        size=size, is_data=True, seq=0)
+
+
+class TestThroughputExtraction:
+    def test_aggregate_series(self):
+        records = [rec(0.1), rec(0.2), rec(1.1)]
+        series = aggregate_throughput_series(records, window=1.0,
+                                             start=0.0, end=2.0)
+        assert series.values == [3000.0, 1500.0]
+
+    def test_zero_windows_present(self):
+        records = [rec(0.1)]
+        series = aggregate_throughput_series(records, window=1.0,
+                                             start=0.0, end=3.0)
+        assert series.values == [1500.0, 0.0, 0.0]
+
+    def test_per_flow_split(self):
+        records = [rec(0.1, slot=0), rec(0.2, slot=1), rec(0.3, slot=1)]
+        by_flow = per_flow_throughput_series(records, window=1.0,
+                                             start=0.0, end=1.0)
+        assert by_flow[FlowId(0, 0)].values == [1500.0]
+        assert by_flow[FlowId(0, 1)].values == [3000.0]
+
+    def test_per_slot_merges_incarnations(self):
+        records = [rec(0.1, slot=0, incarnation=0),
+                   rec(0.2, slot=0, incarnation=1)]
+        by_slot = per_slot_throughput_series(records, window=1.0,
+                                             start=0.0, end=1.0)
+        assert by_slot[0].values == [3000.0]
+
+    def test_records_outside_interval_ignored(self):
+        records = [rec(5.0)]
+        series = aggregate_throughput_series(records, window=1.0,
+                                             start=0.0, end=2.0)
+        assert sum(series.values) == 0.0
+
+    def test_flow_bytes(self):
+        records = [rec(0.1, slot=0), rec(0.2, slot=0), rec(0.3, slot=1)]
+        totals = flow_bytes(records)
+        assert totals[FlowId(0, 0)] == 3000
+        assert totals[FlowId(0, 1)] == 1500
+
+    def test_burst_factor(self):
+        ts = TimeSeries()
+        for i in range(99):
+            ts.append(float(i), 100.0)
+        ts.append(99.0, 500.0)
+        assert burst_factor(ts, rate=100.0, p=50) == pytest.approx(1.0)
+        assert burst_factor(ts, rate=100.0, p=100) == pytest.approx(5.0)
+
+    def test_burst_factor_validation(self):
+        with pytest.raises(ValueError):
+            burst_factor(TimeSeries(), rate=0.0)
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            aggregate_throughput_series([], window=1.0, start=2.0, end=1.0)
+        with pytest.raises(ValueError):
+            aggregate_throughput_series([], window=0.0, start=0.0, end=1.0)

@@ -1,0 +1,56 @@
+"""Tests for the multi-aggregate middlebox."""
+
+import pytest
+
+from repro.net.middlebox import Middlebox
+from repro.net.packet import FlowId, Packet
+from repro.net.sink import NullSink
+from repro.schemes import make_limiter
+from repro.sim.simulator import Simulator
+from repro.units import mbps, ms
+
+
+def make_box(sim, aggregates=(0, 1)):
+    box = Middlebox(sim)
+    for agg in aggregates:
+        limiter = make_limiter(sim, "bcpqp", rate=mbps(5), num_queues=2,
+                               max_rtt=ms(50))
+        limiter.connect(NullSink())
+        box.add_aggregate(agg, limiter)
+    return box
+
+
+def test_routes_to_matching_limiter():
+    sim = Simulator()
+    box = make_box(sim)
+    box.receive(Packet.data(FlowId(1, 0), 0, 0.0))
+    assert box.limiter_for(1).stats.arrived_packets == 1
+    assert box.limiter_for(0).stats.arrived_packets == 0
+
+
+def test_unmatched_aggregate_counted():
+    sim = Simulator()
+    box = make_box(sim)
+    box.receive(Packet.data(FlowId(7, 0), 0, 0.0))
+    assert box.unmatched_packets == 1
+
+
+def test_duplicate_registration_rejected():
+    sim = Simulator()
+    box = make_box(sim)
+    with pytest.raises(ValueError):
+        box.add_aggregate(0, box.limiter_for(1))
+
+
+def test_aggregates_listing():
+    sim = Simulator()
+    box = make_box(sim, aggregates=(3, 1, 2))
+    assert box.aggregates == [1, 2, 3]
+
+
+def test_total_cycles_sums_limiters():
+    sim = Simulator()
+    box = make_box(sim)
+    for i in range(5):
+        box.receive(Packet.data(FlowId(0, 0), i, 0.0))
+    assert box.total_cycles() > 0

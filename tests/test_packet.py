@@ -1,0 +1,50 @@
+"""Tests for packet and flow-identity types."""
+
+from repro.net.packet import FlowId, Packet, PacketKind
+from repro.units import ACK_SIZE, MSS
+
+
+def test_data_packet_defaults():
+    flow = FlowId(1, 2)
+    pkt = Packet.data(flow, seq=5, sent_at=1.0)
+    assert pkt.is_data and not pkt.is_ack
+    assert pkt.size == MSS
+    assert pkt.seq == 5
+    assert pkt.retransmit is False
+
+
+def test_ack_packet():
+    flow = FlowId(1, 2)
+    ack = Packet.ack(flow, ack_next=7, sent_at=2.0, echo_ts=1.5, echo_retransmit=False)
+    assert ack.is_ack and not ack.is_data
+    assert ack.size == ACK_SIZE
+    assert ack.ack_next == 7
+    assert ack.echo_ts == 1.5
+
+
+def test_ack_carries_sack_blocks():
+    flow = FlowId(0, 0)
+    ack = Packet.ack(flow, 3, 1.0, echo_ts=0.9, echo_retransmit=False,
+                     sack=((5, 8), (10, 11)))
+    assert ack.sack == ((5, 8), (10, 11))
+
+
+def test_packet_uids_unique():
+    flow = FlowId(0, 0)
+    uids = {Packet.data(flow, i, 0.0).uid for i in range(100)}
+    assert len(uids) == 100
+
+
+def test_flow_id_identity_and_hash():
+    assert FlowId(1, 2, 0) == FlowId(1, 2, 0)
+    assert FlowId(1, 2, 0) != FlowId(1, 2, 1)
+    assert len({FlowId(1, 2, 0), FlowId(1, 2, 0), FlowId(1, 3, 0)}) == 2
+
+
+def test_flow_id_str():
+    assert str(FlowId(3, 1, 2)) == "agg3.s1.i2"
+
+
+def test_kind_enum():
+    assert PacketKind.DATA.value == "data"
+    assert PacketKind.ACK.value == "ack"

@@ -1,0 +1,121 @@
+"""Tests for the PQP limiter (phantom-queue policer)."""
+
+import pytest
+
+from repro.classify.classifier import SlotClassifier
+from repro.core.pqp import PQP
+from repro.net.packet import FlowId, Packet
+from repro.net.sink import NullSink
+from repro.policy.tree import Policy
+from repro.sim.simulator import Simulator
+
+
+def make(sim, *, rate=15_000.0, n=2, queue_bytes=15_000.0, policy=None):
+    pqp = PQP(sim, rate=rate, policy=policy or Policy.fair(n),
+              classifier=SlotClassifier(n), queue_bytes=queue_bytes)
+    pqp.connect(NullSink())
+    return pqp
+
+
+def pkt(slot, seq=0, size=1500):
+    return Packet.data(FlowId(0, slot), seq, 0.0, size=size)
+
+
+class TestPQP:
+    def test_forwards_immediately_when_room(self):
+        sim = Simulator()
+        sink = NullSink()
+        pqp = make(sim)
+        pqp.connect(sink)
+        pqp.receive(pkt(0))
+        assert sink.count == 1  # no buffering, no delay
+
+    def test_drops_when_phantom_queue_full(self):
+        sim = Simulator()
+        pqp = make(sim, queue_bytes=3000.0)
+        for i in range(4):
+            pqp.receive(pkt(0, i))
+        assert pqp.stats.forwarded_packets == 2
+        assert pqp.stats.dropped_packets == 2
+        assert pqp.stats.per_queue_drops[0] == 2
+
+    def test_queues_isolated(self):
+        sim = Simulator()
+        pqp = make(sim, queue_bytes=3000.0)
+        for i in range(4):
+            pqp.receive(pkt(0, i))
+        pqp.receive(pkt(1, 0))
+        assert pqp.stats.forwarded_packets == 3  # queue 1 unaffected
+
+    def test_phantom_drain_admits_later_packets(self):
+        sim = Simulator()
+        pqp = make(sim, rate=1500.0, queue_bytes=1500.0)
+        pqp.receive(pkt(0, 0))
+        pqp.receive(pkt(0, 1))
+        assert pqp.stats.dropped_packets == 1
+        sim.schedule(1.0, lambda: pqp.receive(pkt(0, 2)))
+        sim.run()
+        assert pqp.stats.forwarded_packets == 2
+
+    def test_long_run_rate_enforced(self):
+        sim = Simulator()
+        rate = 15_000.0
+        pqp = make(sim, rate=rate, queue_bytes=30_000.0)
+
+        def arrive(i=[0]):
+            pqp.receive(pkt(i[0] % 2, i[0]))
+            i[0] += 1
+            sim.schedule(0.005, arrive)  # 300 kB/s demand
+
+        sim.schedule(0.0, arrive)
+        sim.run(until=20.0)
+        # Initial burst fills both queues (2 x 30 kB) then admission = rate.
+        expected = rate * 20 + 2 * 30_000.0
+        assert pqp.stats.forwarded_bytes == pytest.approx(expected, rel=0.05)
+
+    def test_fair_admission_between_queues(self):
+        sim = Simulator()
+        rate = 15_000.0
+        pqp = make(sim, rate=rate, queue_bytes=15_000.0)
+        fwd = {0: 0, 1: 0}
+
+        class _Sink:
+            def receive(self, p):
+                fwd[p.flow.slot] += 1
+
+        pqp.connect(_Sink())
+
+        def arrive(i=[0]):
+            pqp.receive(pkt(0, i[0]))
+            pqp.receive(pkt(0, i[0]))  # slot 0 twice as aggressive
+            pqp.receive(pkt(1, i[0]))
+            i[0] += 1
+            sim.schedule(0.01, arrive)
+
+        sim.schedule(0.0, arrive)
+        sim.run(until=30.0)
+        assert fwd[0] == pytest.approx(fwd[1], rel=0.1)
+
+    def test_per_queue_capacities(self):
+        sim = Simulator()
+        pqp = PQP(sim, rate=1000.0, policy=Policy.fair(2),
+                  classifier=SlotClassifier(2), queue_bytes=[1500.0, 4500.0])
+        pqp.connect(NullSink())
+        assert pqp.queues.capacity(0) == 1500.0
+        assert pqp.queues.capacity(1) == 4500.0
+
+    def test_mismatched_classifier_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            PQP(sim, rate=1.0, policy=Policy.fair(2),
+                classifier=SlotClassifier(3), queue_bytes=1.0)
+
+    def test_no_packet_memory_cost(self):
+        sim = Simulator()
+        pqp = make(sim)
+        for i in range(10):
+            pqp.receive(pkt(0, i))
+        snap = pqp.cost.snapshot()
+        assert snap["pkt_store"] == 0
+        assert snap["pkt_fetch"] == 0
+        assert snap["timer"] == 0

@@ -1,0 +1,117 @@
+"""Tests for the hierarchical DRR packet scheduler.
+
+The long-run byte shares of the DRR realization must converge to the fluid
+(GPS) shares of the same policy tree — checked for fixed and random trees.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.policy.tree import Policy
+from repro.sched.drr import HierarchicalDrrScheduler
+from repro.units import MSS
+
+
+def run_scheduler(policy, backlog, rounds=2000, size=MSS):
+    """Serve `rounds` packets from always-backlogged queues; return byte
+    counts per queue.  `backlog[i]` False means queue i is always empty."""
+    sched = HierarchicalDrrScheduler(policy)
+    served = [0.0] * policy.num_queues
+    heads = [size if b else None for b in backlog]
+    for _ in range(rounds):
+        q = sched.select(heads)
+        if q is None:
+            break
+        served[q] += size
+        sched.charge(size)
+    return served
+
+
+class TestBasicSelection:
+    def test_all_empty_returns_none(self):
+        sched = HierarchicalDrrScheduler(Policy.fair(3))
+        assert sched.select([None, None, None]) is None
+
+    def test_single_backlogged_queue_served(self):
+        served = run_scheduler(Policy.fair(3), [False, True, False], rounds=10)
+        assert served[1] > 0 and served[0] == served[2] == 0
+
+    def test_head_sizes_length_checked(self):
+        sched = HierarchicalDrrScheduler(Policy.fair(2))
+        with pytest.raises(ValueError):
+            sched.select([MSS])
+
+    def test_invalid_quantum(self):
+        with pytest.raises(ValueError):
+            HierarchicalDrrScheduler(Policy.fair(2), quantum=0)
+
+
+class TestShareConvergence:
+    def test_fair_shares(self):
+        served = run_scheduler(Policy.fair(4), [True] * 4)
+        total = sum(served)
+        for s in served:
+            assert s / total == pytest.approx(0.25, rel=0.05)
+
+    def test_weighted_shares(self):
+        policy = Policy.weighted([1, 2, 5])
+        served = run_scheduler(policy, [True] * 3, rounds=4000)
+        total = sum(served)
+        assert served[0] / total == pytest.approx(1 / 8, rel=0.1)
+        assert served[1] / total == pytest.approx(2 / 8, rel=0.1)
+        assert served[2] / total == pytest.approx(5 / 8, rel=0.1)
+
+    def test_strict_priority(self):
+        policy = Policy.prioritized([0, 1])
+        served = run_scheduler(policy, [True, True], rounds=100)
+        assert served[1] == 0.0
+
+    def test_priority_fallback(self):
+        policy = Policy.prioritized([0, 1])
+        served = run_scheduler(policy, [False, True], rounds=100)
+        assert served[1] > 0
+
+    def test_nested_shares(self):
+        policy = Policy.nested([[1, 1], [1, 1]], group_weights=[2, 1])
+        served = run_scheduler(policy, [True] * 4, rounds=6000)
+        total = sum(served)
+        assert served[0] / total == pytest.approx(1 / 3, rel=0.1)
+        assert served[2] / total == pytest.approx(1 / 6, rel=0.15)
+
+    def test_mixed_packet_sizes(self):
+        """DRR is byte-fair, not packet-fair: a queue with small packets
+        gets more packets, equal bytes."""
+        policy = Policy.fair(2)
+        sched = HierarchicalDrrScheduler(policy)
+        served = [0.0, 0.0]
+        sizes = [1500, 300]
+        for _ in range(5000):
+            heads = [sizes[0], sizes[1]]
+            q = sched.select(heads)
+            served[q] += sizes[q]
+            sched.charge(sizes[q])
+        assert served[0] / served[1] == pytest.approx(1.0, rel=0.1)
+
+
+@settings(deadline=None, max_examples=25)
+@given(
+    weights=st.lists(st.floats(min_value=0.5, max_value=8), min_size=2, max_size=6),
+    data=st.data(),
+)
+def test_drr_matches_fluid_shares(weights, data):
+    """Property: DRR byte shares track Policy.fluid_rates for random
+    weighted policies and random activity patterns."""
+    n = len(weights)
+    active = data.draw(st.lists(st.booleans(), min_size=n, max_size=n))
+    if not any(active):
+        active[0] = True
+    policy = Policy.weighted(weights)
+    served = run_scheduler(policy, active, rounds=6000)
+    fluid = policy.fluid_rates(active, sum(served) or 1.0)
+    total = sum(served)
+    if total == 0:
+        return
+    for i in range(n):
+        assert served[i] / total == pytest.approx(
+            fluid[i] / sum(fluid), abs=0.05
+        )

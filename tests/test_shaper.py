@@ -1,0 +1,141 @@
+"""Tests for the multi-queue traffic shaper."""
+
+import pytest
+
+from repro.classify.classifier import SlotClassifier
+from repro.limiters.shaper import Shaper
+from repro.net.packet import FlowId, Packet
+from repro.net.sink import NullSink
+from repro.policy.tree import Policy
+from repro.sim.simulator import Simulator
+
+
+def make(sim, *, rate=15_000.0, n=2, queue_bytes=15_000.0, policy=None,
+         sink=None):
+    shaper = Shaper(
+        sim,
+        rate=rate,
+        policy=policy or Policy.fair(n),
+        classifier=SlotClassifier(n),
+        queue_bytes=queue_bytes,
+    )
+    shaper.connect(sink or NullSink())
+    return shaper
+
+
+def pkt(slot, seq=0, size=1500):
+    return Packet.data(FlowId(0, slot), seq, 0.0, size=size)
+
+
+class TestShaping:
+    def test_releases_at_configured_rate(self):
+        sim = Simulator()
+        sink = NullSink()
+        shaper = make(sim, rate=15_000.0, queue_bytes=1e6, sink=sink)
+        for i in range(100):
+            shaper.receive(pkt(0, i))
+        sim.run(until=5.0)
+        # 15 kB/s x 5 s = 75 kB = 50 packets
+        assert sink.count == pytest.approx(50, abs=2)
+
+    def test_buffers_do_not_drop_within_capacity(self):
+        sim = Simulator()
+        shaper = make(sim, queue_bytes=15_000.0)
+        for i in range(10):
+            shaper.receive(pkt(0, i))
+        assert shaper.stats.dropped_packets == 0
+        assert shaper.backlog_bytes() > 0
+
+    def test_drop_tail_when_full(self):
+        sim = Simulator()
+        shaper = make(sim, queue_bytes=4500.0)
+        for i in range(10):
+            shaper.receive(pkt(0, i))
+        # 1 in service + 3 buffered = 4; rest dropped.
+        assert shaper.stats.dropped_packets == 6
+        assert shaper.stats.per_queue_drops[0] == 6
+
+    def test_fair_service_between_queues(self):
+        sim = Simulator()
+        served = {0: 0, 1: 0}
+
+        class _Sink:
+            def receive(self, p):
+                served[p.flow.slot] += 1
+
+        shaper = make(sim, queue_bytes=1e6, sink=_Sink())
+        for i in range(100):
+            shaper.receive(pkt(0, i))
+            shaper.receive(pkt(1, i))
+        sim.run(until=10.0)
+        assert served[0] == pytest.approx(served[1], abs=2)
+        assert served[0] + served[1] == pytest.approx(100, abs=2)
+
+    def test_weighted_service(self):
+        sim = Simulator()
+        served = {0: 0, 1: 0}
+
+        class _Sink:
+            def receive(self, p):
+                served[p.flow.slot] += 1
+
+        shaper = make(sim, queue_bytes=1e6, sink=_Sink(),
+                      policy=Policy.weighted([3, 1]))
+        for i in range(200):
+            shaper.receive(pkt(0, i))
+            shaper.receive(pkt(1, i))
+        sim.run(until=10.0)
+        assert served[0] / served[1] == pytest.approx(3.0, rel=0.15)
+
+    def test_priority_service(self):
+        sim = Simulator()
+        order = []
+
+        class _Sink:
+            def receive(self, p):
+                order.append(p.flow.slot)
+
+        shaper = make(sim, queue_bytes=1e6, sink=_Sink(),
+                      policy=Policy.prioritized([0, 1]))
+        for i in range(20):
+            shaper.receive(pkt(1, i))
+        for i in range(20):
+            shaper.receive(pkt(0, i))
+        sim.run(until=10.0)
+        # After the first (already in service) packet, all high-priority
+        # packets leave before the remaining low-priority ones.
+        tail = order[1:21]
+        assert all(slot == 0 for slot in tail)
+
+    def test_work_conserving_when_one_queue_empty(self):
+        sim = Simulator()
+        sink = NullSink()
+        shaper = make(sim, rate=15_000.0, queue_bytes=1e6, sink=sink)
+        for i in range(40):
+            shaper.receive(pkt(1, i))
+        sim.run(until=2.0)
+        assert sink.count == pytest.approx(20, abs=2)
+
+    def test_cost_includes_store_fetch_timer(self):
+        sim = Simulator()
+        shaper = make(sim, queue_bytes=1e6)
+        for i in range(20):
+            shaper.receive(pkt(0, i))
+        sim.run(until=5.0)
+        snap = shaper.cost.snapshot()
+        assert snap["pkt_store"] == 20
+        assert snap["pkt_fetch"] == 20
+        assert snap["timer"] == 20
+
+    def test_classifier_policy_mismatch_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Shaper(sim, rate=1.0, policy=Policy.fair(2),
+                   classifier=SlotClassifier(3), queue_bytes=1.0)
+
+    def test_max_backlog_tracked(self):
+        sim = Simulator()
+        shaper = make(sim, queue_bytes=1e6)
+        for i in range(10):
+            shaper.receive(pkt(0, i))
+        assert shaper.max_backlog_bytes >= 9 * 1500

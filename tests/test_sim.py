@@ -1,0 +1,177 @@
+"""Tests for the discrete-event simulator core."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.events import EventHandle
+from repro.sim.rng import RngFactory
+from repro.sim.simulator import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, fired.append, "late")
+        sim.schedule(1.0, fired.append, "early")
+        sim.schedule(3.0, fired.append, "latest")
+        sim.run()
+        assert fired == ["early", "late", "latest"]
+
+    def test_same_time_events_fire_in_insertion_order(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(1.0, fired.append, i)
+        sim.run()
+        assert fired == list(range(10))
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1.5]
+        assert sim.now == 1.5
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator(start_time=5.0)
+        seen = []
+        sim.schedule_at(7.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [7.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_scheduling_into_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_events_scheduled_during_run_fire(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: sim.schedule(1.0, fired.append, "chained"))
+        sim.run()
+        assert fired == ["chained"]
+        assert sim.now == 2.0
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "in")
+        sim.schedule(5.0, fired.append, "out")
+        sim.run(until=2.0)
+        assert fired == ["in"]
+        assert sim.now == 2.0  # clock advanced to the until mark
+
+    def test_run_until_then_resume(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(3.0, fired.append, 3)
+        sim.run(until=2.0)
+        sim.run()
+        assert fired == [1, 3]
+
+    def test_max_events(self):
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(float(i + 1), fired.append, i)
+        sim.run(max_events=2)
+        assert fired == [0, 1]
+
+    def test_step_returns_false_when_empty(self):
+        sim = Simulator()
+        assert sim.step() is False
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(7):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.events_processed == 7
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, fired.append, "x")
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_via_simulator_none_safe(self):
+        sim = Simulator()
+        sim.cancel(None)  # no-op
+
+    def test_double_cancel_is_safe(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        sim.run()
+
+    def test_peek_time_skips_cancelled(self):
+        sim = Simulator()
+        first = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        first.cancel()
+        assert sim.peek_time() == 2.0
+
+    def test_cancelled_event_releases_callback(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, print, "payload")
+        handle.cancel()
+        assert handle.args == ()
+
+
+class TestEventHandleOrdering:
+    def test_ordering_by_time_then_seq(self):
+        a = EventHandle(1.0, 0, lambda: None, ())
+        b = EventHandle(1.0, 1, lambda: None, ())
+        c = EventHandle(0.5, 2, lambda: None, ())
+        assert c < a < b
+
+
+class TestDeterminism:
+    @given(st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=50))
+    def test_events_always_fire_in_nondecreasing_time(self, delays):
+        sim = Simulator()
+        times = []
+        for d in delays:
+            sim.schedule(d, lambda: times.append(sim.now))
+        sim.run()
+        assert times == sorted(times)
+        assert len(times) == len(delays)
+
+
+class TestRngFactory:
+    def test_same_stream_reproducible(self):
+        a = RngFactory(42).stream("flows", 1)
+        b = RngFactory(42).stream("flows", 1)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_streams_differ(self):
+        f = RngFactory(42)
+        assert f.stream("a").random() != f.stream("b").random()
+
+    def test_different_seeds_differ(self):
+        assert RngFactory(1).stream("x").random() != RngFactory(2).stream("x").random()
+
+    def test_derive_namespaces(self):
+        f = RngFactory(7)
+        child = f.derive("agg", 3)
+        assert child.stream("flows").random() != f.stream("flows").random()
+
+    def test_seed_property(self):
+        assert RngFactory(9).seed == 9

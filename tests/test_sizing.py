@@ -1,0 +1,61 @@
+"""Tests for the sizing rules (§3.5, Appendix A)."""
+
+import pytest
+
+from repro.core import sizing
+from repro.units import MSS, mbps, ms
+
+
+class TestRenoSizing:
+    def test_paper_headline_configuration(self):
+        """r = 10 Mbps, RTT = 100 ms: BDP = 83.3 pkts, B = BDP^2/18 x MSS."""
+        b = sizing.reno_min_phantom_buffer(mbps(10), ms(100))
+        bdp = mbps(10) * ms(100) / MSS
+        assert b == pytest.approx(bdp * bdp / 18 * MSS)
+        assert 500e3 < b < 650e3  # ~579 KB
+
+    def test_scales_quadratically_with_bdp(self):
+        b1 = sizing.reno_min_phantom_buffer(mbps(10), ms(50))
+        b2 = sizing.reno_min_phantom_buffer(mbps(10), ms(100))
+        assert b2 / b1 == pytest.approx(4.0)
+
+    def test_policer_bucket_equals_phantom_requirement(self):
+        assert sizing.reno_min_policer_bucket(mbps(5), ms(40)) == \
+            sizing.reno_min_phantom_buffer(mbps(5), ms(40))
+
+    def test_steady_rate_bounds(self):
+        lo, hi = sizing.reno_steady_rate_bounds(9.0)
+        assert lo == pytest.approx(6.0)
+        assert hi == pytest.approx(12.0)
+
+
+class TestCubicSizing:
+    def test_positive_and_finite(self):
+        b = sizing.cubic_min_bucket(mbps(10), ms(50))
+        assert 0 < b < 1e9
+
+    def test_crossover_with_reno(self):
+        """§6.1: Cubic needs a bigger bucket at small rate x RTT, Reno at
+        large — the requirement curves cross."""
+        small = (mbps(1.5), ms(10))
+        large = (mbps(50), ms(100))
+        assert sizing.cubic_min_bucket(*small) > \
+            sizing.reno_min_phantom_buffer(*small)
+        assert sizing.cubic_min_bucket(*large) < \
+            sizing.reno_min_phantom_buffer(*large)
+
+    def test_policer_plus_takes_max(self):
+        r, rtt = mbps(1.5), ms(10)
+        assert sizing.policer_plus_bucket(r, rtt) == pytest.approx(
+            max(sizing.cubic_min_bucket(r, rtt),
+                sizing.reno_min_policer_bucket(r, rtt)))
+
+
+class TestBcpqpSizing:
+    def test_default_headroom(self):
+        b = sizing.bcpqp_default_buffer(mbps(10), ms(100))
+        assert b == pytest.approx(
+            10 * sizing.reno_min_phantom_buffer(mbps(10), ms(100)))
+
+    def test_bdp_bucket(self):
+        assert sizing.bdp_bucket(mbps(10), ms(100)) == pytest.approx(125_000)

@@ -1,0 +1,42 @@
+"""Tests for unit conversions."""
+
+import pytest
+
+from repro import units
+
+
+def test_mbps_roundtrip():
+    assert units.to_mbps(units.mbps(7.5)) == pytest.approx(7.5)
+
+
+def test_mbps_bytes_per_second():
+    assert units.mbps(8) == pytest.approx(1e6)  # 8 Mbit/s = 1 MB/s
+
+
+def test_gbps_kbps_scale():
+    assert units.gbps(1) == pytest.approx(1000 * units.mbps(1))
+    assert units.mbps(1) == pytest.approx(1000 * units.kbps(1))
+
+
+def test_time_units():
+    assert units.ms(250) == pytest.approx(0.25)
+    assert units.us(1500) == pytest.approx(0.0015)
+    assert units.seconds(2) == 2.0
+
+
+def test_data_units():
+    assert units.kilobytes(1000) == pytest.approx(1e6)
+    assert units.megabytes(1.5) == pytest.approx(1.5e6)
+
+
+def test_bdp():
+    # 10 Mbit/s x 100 ms = 125 kB = 83.3 packets
+    rate = units.mbps(10)
+    rtt = units.ms(100)
+    assert units.bdp_bytes(rate, rtt) == pytest.approx(125_000)
+    assert units.bdp_packets(rate, rtt) == pytest.approx(83.33, rel=1e-3)
+
+
+def test_constants():
+    assert units.MSS == 1500
+    assert units.ACK_SIZE == 40

@@ -1,0 +1,97 @@
+"""Tests for the workload specs and the §6.1 aggregate generator."""
+
+import pytest
+
+from repro.units import mbps, ms
+from repro.workload.aggregates import (
+    CC_CHOICES,
+    Section61Config,
+    make_section61_aggregates,
+)
+from repro.workload.spec import FlowSpec, OnOffSpec
+
+
+class TestSpecs:
+    def test_flow_spec_validation(self):
+        with pytest.raises(ValueError):
+            FlowSpec(slot=-1)
+        with pytest.raises(ValueError):
+            FlowSpec(slot=0, rtt=0)
+        with pytest.raises(ValueError):
+            FlowSpec(slot=0, packets=0)
+        with pytest.raises(ValueError):
+            FlowSpec(slot=0, weight=0)
+
+    def test_on_off_validation(self):
+        with pytest.raises(ValueError):
+            OnOffSpec(burst_packets_mean=0, off_time_mean=1)
+        with pytest.raises(ValueError):
+            OnOffSpec(burst_packets_mean=1, off_time_mean=-1)
+
+
+class TestGenerator:
+    def make(self, **kwargs):
+        return make_section61_aggregates(Section61Config(**kwargs))
+
+    def test_count_and_ids(self):
+        aggs = self.make(num_aggregates=12)
+        assert len(aggs) == 12
+        assert [a.aggregate_id for a in aggs] == list(range(12))
+
+    def test_rates_cycle(self):
+        aggs = self.make(num_aggregates=6)
+        rates = {a.rate for a in aggs}
+        assert rates == {mbps(1.5), mbps(7.5), mbps(25)}
+
+    def test_homogeneous_aggregates_share_cc_and_rtt(self):
+        aggs = self.make(num_aggregates=12)
+        for agg in aggs:
+            if agg.homogeneous:
+                assert len({f.cc for f in agg.flows}) == 1
+                assert len({f.rtt for f in agg.flows}) == 1
+
+    def test_heterogeneous_half_exists(self):
+        aggs = self.make(num_aggregates=12)
+        assert sum(1 for a in aggs if not a.homogeneous) == 6
+
+    def test_kind_mix(self):
+        aggs = self.make(num_aggregates=12)
+        kinds = {a.kind for a in aggs}
+        assert kinds == {"backlogged", "onoff", "mixed"}
+        for agg in aggs:
+            if agg.kind == "backlogged":
+                assert all(f.on_off is None for f in agg.flows)
+            elif agg.kind == "onoff":
+                assert all(f.on_off is not None for f in agg.flows)
+            else:
+                assert any(f.on_off is None for f in agg.flows)
+                assert any(f.on_off is not None for f in agg.flows)
+
+    def test_rtts_in_range(self):
+        cfg = Section61Config(num_aggregates=20)
+        for agg in make_section61_aggregates(cfg):
+            for f in agg.flows:
+                assert cfg.min_rtt <= f.rtt <= cfg.max_rtt
+
+    def test_ccs_from_choices(self):
+        for agg in self.make(num_aggregates=20):
+            for f in agg.flows:
+                assert f.cc in CC_CHOICES
+
+    def test_deterministic_from_seed(self):
+        a = self.make(num_aggregates=8, seed=5)
+        b = self.make(num_aggregates=8, seed=5)
+        assert a == b
+        c = self.make(num_aggregates=8, seed=6)
+        assert a != c
+
+    def test_slots_unique_within_aggregate(self):
+        for agg in self.make(num_aggregates=10):
+            slots = [f.slot for f in agg.flows]
+            assert slots == list(range(len(slots)))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            Section61Config(num_aggregates=0)
+        with pytest.raises(ValueError):
+            Section61Config(flows_per_aggregate=0)
