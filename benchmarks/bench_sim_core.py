@@ -1,0 +1,81 @@
+"""Simulator event-loop microbenchmarks (events/sec).
+
+These time the discrete-event core itself, independent of any TCP or
+limiter logic: a self-rescheduling timer chain (the pure pop/push cycle),
+a fan of interleaved timers (deep heap, realistic sift costs), and a
+cancellation-heavy mix (lazy-deletion sweep cost).  ``benchmarks/report.py``
+converts the same workloads into an events/sec figure for
+``BENCH_fig5.json``.
+"""
+
+from repro.sim.simulator import Simulator
+
+CHAIN_EVENTS = 20_000
+FAN_TIMERS = 64
+FAN_EVENTS = 20_000
+CANCEL_EVENTS = 20_000
+
+
+def run_timer_chain(n: int = CHAIN_EVENTS) -> int:
+    """One self-rescheduling timer: the minimal pop/push/fire cycle."""
+    sim = Simulator()
+    remaining = n
+
+    def tick() -> None:
+        nonlocal remaining
+        remaining -= 1
+        if remaining:
+            sim.schedule(1e-4, tick)
+
+    sim.schedule(0.0, tick)
+    sim.run()
+    return sim.events_processed
+
+
+def run_timer_fan(n: int = FAN_EVENTS, timers: int = FAN_TIMERS) -> int:
+    """Many interleaved periodic timers: a deep heap with real sift work."""
+    sim = Simulator()
+    remaining = n
+
+    def tick(period: float) -> None:
+        nonlocal remaining
+        remaining -= 1
+        if remaining > 0:
+            sim.schedule(period, tick, period)
+
+    for i in range(timers):
+        # Distinct, non-harmonic periods keep the heap order non-trivial.
+        sim.schedule(0.0, tick, 1e-4 * (1 + i / timers))
+    sim.run()
+    return sim.events_processed
+
+
+def run_cancel_mix(n: int = CANCEL_EVENTS) -> int:
+    """Schedule-then-cancel half the events: the lazy-deletion sweep."""
+    sim = Simulator()
+    remaining = n
+
+    def tick() -> None:
+        nonlocal remaining
+        remaining -= 1
+        doomed = sim.schedule(2e-4, tick)
+        sim.cancel(doomed)
+        if remaining:
+            sim.schedule(1e-4, tick)
+
+    sim.schedule(0.0, tick)
+    sim.run()
+    return sim.events_processed
+
+
+def test_sim_timer_chain(benchmark):
+    assert benchmark(run_timer_chain) == CHAIN_EVENTS
+
+
+def test_sim_timer_fan(benchmark):
+    # Timers already in the heap when the budget hits zero still fire.
+    assert benchmark(run_timer_fan) == FAN_EVENTS + FAN_TIMERS - 1
+
+
+def test_sim_cancel_mix(benchmark):
+    assert benchmark(run_cancel_mix) == CANCEL_EVENTS

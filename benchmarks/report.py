@@ -1,0 +1,168 @@
+"""Machine-readable performance report: ``python benchmarks/report.py``.
+
+Writes ``BENCH_fig5.json`` next to this file (or to ``--output``) with
+three sections:
+
+* ``modeled_cycles_per_packet`` — the Figure 5 metric: the operation-level
+  cost model accumulated over a scaled-down §6.1 run, per scheme;
+* ``hot_path`` — real wall-clock seconds per packet through each
+  limiter's ``receive()`` hot path (median of ``--rounds`` batches);
+* ``simulator`` — event-loop throughput (events/sec) on the three
+  ``bench_sim_core`` workloads.
+
+The JSON is the stable interface for tracking this repository's
+performance over time; the pytest-benchmark suite asserts the qualitative
+shapes, this report records the raw numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+sys.path.insert(0, str(_REPO_ROOT / "benchmarks"))
+
+import bench_sim_core  # noqa: E402
+
+from repro.experiments import fig5_efficiency  # noqa: E402
+from repro.net.packet import FlowId, Packet  # noqa: E402
+from repro.net.sink import NullSink  # noqa: E402
+from repro.schemes import make_limiter  # noqa: E402
+from repro.sim.simulator import Simulator  # noqa: E402
+from repro.units import mbps, ms  # noqa: E402
+
+HOT_PATH_SCHEMES = ("policer", "fairpolicer", "pqp", "bcpqp", "shaper")
+BATCH = 1000
+
+
+def modeled_cycles() -> dict[str, float]:
+    """Figure 5's cost-model numbers from a scaled-down run."""
+    result = fig5_efficiency.run(fig5_efficiency.Config(horizon=8.0, warmup=2.0))
+    return {s: round(c, 2) for s, c in result.cycles_per_packet.items()}
+
+
+def _hot_path_batch(scheme: str):
+    """A closure pushing one batch of packets through ``scheme``."""
+    sim = Simulator()
+    limiter = make_limiter(sim, scheme, rate=mbps(50), num_queues=4,
+                           max_rtt=ms(50))
+    limiter.connect(NullSink())
+    flows = [FlowId(0, i) for i in range(4)]
+    counter = itertools.count()
+    is_shaper = scheme == "shaper"
+
+    def process_batch() -> None:
+        base = next(counter) * BATCH
+        for i in range(BATCH):
+            if not is_shaper:
+                sim._now = (base + i) * 2e-5  # 50k pkt/s arrival clock
+            limiter.receive(Packet.data(flows[i % 4], base + i, sim.now))
+        if is_shaper:
+            sim.run(until=sim.now + 0.02)
+
+    return process_batch
+
+
+def hot_path_seconds_per_packet(rounds: int) -> dict[str, float]:
+    """Median wall seconds per packet through each limiter."""
+    out = {}
+    for scheme in HOT_PATH_SCHEMES:
+        batch = _hot_path_batch(scheme)
+        batch()  # warm up caches and lazy construction
+        samples = []
+        for _ in range(rounds):
+            start = time.perf_counter()
+            batch()
+            samples.append((time.perf_counter() - start) / BATCH)
+        out[scheme] = statistics.median(samples)
+    return out
+
+
+def simulator_events_per_second(rounds: int) -> dict[str, float]:
+    """Median events/sec for the event-loop microbenchmark workloads."""
+    workloads = {
+        "timer_chain": bench_sim_core.run_timer_chain,
+        "timer_fan": bench_sim_core.run_timer_fan,
+        "cancel_mix": bench_sim_core.run_cancel_mix,
+    }
+    out = {}
+    for name, fn in workloads.items():
+        fn()  # warm-up
+        samples = []
+        for _ in range(rounds):
+            start = time.perf_counter()
+            events = fn()
+            samples.append(events / (time.perf_counter() - start))
+        out[name] = round(statistics.median(samples))
+    return out
+
+
+def build_report(rounds: int) -> dict:
+    return {
+        "schema": "repro-bench/1",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "rounds": rounds,
+        "modeled_cycles_per_packet": modeled_cycles(),
+        "hot_path": {
+            "unit": "seconds/packet",
+            "batch_packets": BATCH,
+            "schemes": hot_path_seconds_per_packet(rounds),
+        },
+        "simulator": {
+            "unit": "events/second",
+            "workloads": simulator_events_per_second(rounds),
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", "-o",
+        default=str(Path(__file__).parent / "BENCH_fig5.json"),
+        help="where to write the JSON report",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=5,
+        help="timing rounds per measurement (median is reported)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="JSON", default=None,
+        help="a previous report to embed under 'baseline', with "
+        "events/sec speedup ratios computed against it",
+    )
+    args = parser.parse_args(argv)
+    if args.rounds < 1:
+        parser.error("--rounds must be at least 1")
+    report = build_report(args.rounds)
+    if args.baseline:
+        baseline = json.loads(Path(args.baseline).read_text())
+        report["baseline"] = baseline
+        old = baseline.get("simulator", {}).get("workloads", {})
+        new = report["simulator"]["workloads"]
+        report["simulator"]["speedup_vs_baseline"] = {
+            name: round(new[name] / old[name], 3)
+            for name in new if old.get(name)
+        }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    for scheme, cycles in report["modeled_cycles_per_packet"].items():
+        print(f"  cycles/pkt {scheme:12s} {cycles:8.1f}")
+    for scheme, secs in report["hot_path"]["schemes"].items():
+        print(f"  hot path   {scheme:12s} {secs * 1e6:8.2f} us/pkt")
+    for name, eps in report["simulator"]["workloads"].items():
+        print(f"  sim        {name:12s} {eps:8.0f} events/s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,12 +1,18 @@
-"""Run every experiment in sequence: ``python -m repro.experiments``.
+"""Run experiments from the command line: ``python -m repro.experiments``.
 
-Prints each figure's tables back to back — the full evaluation section of
-the paper, regenerated (at the documented scaled-down defaults; individual
-modules accept richer configs when run directly).
+With no arguments, prints every figure's tables back to back — the full
+evaluation section of the paper, regenerated (at the documented
+scaled-down defaults; individual modules accept richer configs when run
+directly).  Positional arguments select figures (``fig4 fig5`` …);
+``--jobs N`` fans each figure's simulation grid over N worker processes,
+and ``--cache DIR`` reuses results for unchanged (config, scheme-code)
+cells across invocations.  Serial runs (the default) produce output
+byte-identical to the pre-runner implementation.
 """
 
 from __future__ import annotations
 
+import argparse
 import time
 
 from repro.experiments import (
@@ -22,33 +28,78 @@ from repro.experiments import (
     fig7_applications,
     fig9_video_timeseries,
 )
+from repro.runner import ResultCache, default_jobs
 
 _MODULES = (
-    ("Figure 1", fig1_motivation),
-    ("Figure 2", fig2_sizing),
-    ("Figure 3", fig3_secondary_bottleneck),
-    ("Figure 4", fig4_rate_enforcement),
-    ("Figure 5", fig5_efficiency),
-    ("Figure 6", fig6_policy),
-    ("Figure 7", fig7_applications),
-    ("Figure 9", fig9_video_timeseries),
-    ("Appendix A", appendix_a),
-    ("Extension: ECN", ext_ecn),
-    ("Extension: hashed classification", ext_hash_classification),
+    ("Figure 1", "fig1", fig1_motivation),
+    ("Figure 2", "fig2", fig2_sizing),
+    ("Figure 3", "fig3", fig3_secondary_bottleneck),
+    ("Figure 4", "fig4", fig4_rate_enforcement),
+    ("Figure 5", "fig5", fig5_efficiency),
+    ("Figure 6", "fig6", fig6_policy),
+    ("Figure 7", "fig7", fig7_applications),
+    ("Figure 9", "fig9", fig9_video_timeseries),
+    ("Appendix A", "appendix_a", appendix_a),
+    ("Extension: ECN", "ext_ecn", ext_ecn),
+    ("Extension: hashed classification", "ext_hash", ext_hash_classification),
 )
 
+_NAMES = tuple(name for _, name, _ in _MODULES)
 
-def main() -> None:
-    """Run all experiments, timing each."""
+
+def _parse_args(argv: list[str] | None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's figures.",
+    )
+    parser.add_argument(
+        "figures",
+        nargs="*",
+        choices=[[], *_NAMES],  # empty selection = all figures
+        metavar="FIGURE",
+        help=f"figures to run (default: all). Choices: {', '.join(_NAMES)}",
+    )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan simulation grids over N worker processes "
+        "(0 = one per CPU; default: serial)",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="directory for the on-disk result cache (reuses results for "
+        "unchanged config + scheme code)",
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv: list[str] | None = None) -> None:
+    """Run the selected experiments, timing each."""
+    args = _parse_args(argv)
+    jobs = default_jobs() if args.jobs == 0 else args.jobs
+    try:
+        cache = ResultCache(args.cache) if args.cache else None
+    except OSError as exc:
+        raise SystemExit(f"error: cannot use cache dir {args.cache!r}: {exc}")
+    selected = set(args.figures) or set(_NAMES)
     grand_start = time.time()
-    for label, module in _MODULES:
+    for label, name, module in _MODULES:
+        if name not in selected:
+            continue
         print("=" * 72)
         start = time.time()
-        module.main()
+        module.main(jobs=jobs, cache=cache)
         print(f"[{label} done in {time.time() - start:.1f} s]")
         print()
     print("=" * 72)
     print(f"All experiments completed in {time.time() - grand_start:.1f} s.")
+    if cache is not None:
+        print(f"[cache: {cache.hits} hits, {cache.misses} misses]")
 
 
 if __name__ == "__main__":

@@ -11,7 +11,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.sizing import reno_min_phantom_buffer, reno_steady_rate_bounds
-from repro.experiments.common import print_table, run_aggregate
+from repro.experiments.common import (
+    AggregateConfig,
+    ResultCache,
+    print_table,
+    run_aggregates,
+)
 from repro.metrics.stats import percentile
 from repro.units import mbps, ms, to_mbps
 from repro.workload.spec import FlowSpec
@@ -46,18 +51,16 @@ class PointResult:
     oscillation: tuple[float, float] = (0.0, 0.0)
 
 
-def run(config: Config | None = None) -> list[PointResult]:
-    """Run the sweep for every grid point."""
-    config = config or Config()
-    results = []
+def grid(config: Config) -> list[AggregateConfig]:
+    """One PQP cell per (rate, rtt) point and buffer multiplier."""
+    cells = []
     for rate, rtt in config.points:
         b_min = reno_min_phantom_buffer(rate, rtt)
-        point = PointResult(rate=rate, rtt=rtt, analytic_min=b_min)
-        specs = [FlowSpec(slot=0, cc="reno", rtt=rtt)]
-        for mult in config.multipliers:
-            agg = run_aggregate(
-                "pqp",
-                specs,
+        specs = (FlowSpec(slot=0, cc="reno", rtt=rtt),)
+        cells.extend(
+            AggregateConfig(
+                scheme="pqp",
+                specs=specs,
                 rate=rate,
                 max_rtt=rtt,
                 horizon=config.horizon,
@@ -65,6 +68,26 @@ def run(config: Config | None = None) -> list[PointResult]:
                 seed=config.seed,
                 queue_bytes=mult * b_min,
             )
+            for mult in config.multipliers
+        )
+    return cells
+
+
+def run(
+    config: Config | None = None,
+    *,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+) -> list[PointResult]:
+    """Run the sweep for every grid point."""
+    config = config or Config()
+    results = []
+    outcomes = iter(run_aggregates(grid(config), jobs=jobs, cache=cache))
+    for rate, rtt in config.points:
+        b_min = reno_min_phantom_buffer(rate, rtt)
+        point = PointResult(rate=rate, rtt=rtt, analytic_min=b_min)
+        for mult in config.multipliers:
+            agg = next(outcomes)
             point.achieved[mult] = agg.aggregate_series.mean() / rate
             if mult == max(config.multipliers):
                 normalized = [v / rate for v in agg.aggregate_series.values]
@@ -76,10 +99,15 @@ def run(config: Config | None = None) -> list[PointResult]:
     return results
 
 
-def main(config: Config | None = None) -> list[PointResult]:
+def main(
+    config: Config | None = None,
+    *,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+) -> list[PointResult]:
     """Print the Appendix A verification table."""
     config = config or Config()
-    results = run(config)
+    results = run(config, jobs=jobs, cache=cache)
     lo, hi = reno_steady_rate_bounds(1.0)
     print("Appendix A: Reno needs B >= BDP^2/18 x MSS")
     print(f"(steady-state oscillation bounds: {lo:.2f}r .. {hi:.2f}r)")

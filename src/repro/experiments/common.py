@@ -1,67 +1,54 @@
-"""Shared plumbing for the per-figure experiments."""
+"""Shared plumbing for the per-figure experiments.
+
+Figure grids are expressed as lists of picklable
+:class:`~repro.runner.AggregateConfig` cells and submitted through
+:func:`run_aggregates`, which fans out over the process-pool sweep runner
+(``jobs > 1``) or falls back to bit-for-bit serial execution.  The
+original in-process :func:`run_aggregate` entry point is kept for tests,
+examples and one-off cells that want the live limiter/scenario objects.
+"""
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.limiters.base import RateLimiter
-from repro.metrics.fairness import jain_index
-from repro.metrics.series import TimeSeries
-from repro.metrics.throughput import (
-    aggregate_throughput_series,
-    per_slot_throughput_series,
-)
 from repro.policy.tree import Policy
+from repro.runner import (
+    MEASUREMENT_WINDOW,
+    AggregateConfig,
+    AggregateOutcome,
+    ResultCache,
+    run_tasks,
+    simulate_aggregate,
+)
+from repro.runner.aggregate import build_scenario, measure
 from repro.scenario import AggregateScenario, BottleneckSpec
-from repro.schemes import make_limiter
 from repro.sim.simulator import Simulator
 from repro.units import to_mbps
 from repro.workload.spec import FlowSpec
 
-#: Measurement window used throughout the paper's evaluation (250 ms).
-MEASUREMENT_WINDOW = 0.25
+__all__ = [
+    "MEASUREMENT_WINDOW",
+    "AggregateConfig",
+    "AggregateOutcome",
+    "AggregateResult",
+    "ResultCache",
+    "fmt_mbps",
+    "print_table",
+    "run_aggregate",
+    "run_aggregates",
+]
 
 
 @dataclass
-class AggregateResult:
-    """Everything measured from one aggregate under one scheme."""
+class AggregateResult(AggregateOutcome):
+    """An :class:`~repro.runner.AggregateOutcome` that also exposes the live
+    limiter and scenario (serial in-process runs only)."""
 
-    scheme: str
-    rate: float
-    aggregate_series: TimeSeries
-    slot_series: dict[int, TimeSeries]
-    drop_rate: float
-    cycles_per_packet: float
-    arrived_packets: int
-    limiter: RateLimiter = field(repr=False)
-    scenario: AggregateScenario = field(repr=False)
-
-    @property
-    def normalized_series(self) -> list[float]:
-        """Windowed aggregate throughput normalized by the enforced rate."""
-        return [v / self.rate for v in self.aggregate_series.values]
-
-    @property
-    def mean_normalized_throughput(self) -> float:
-        """Mean of non-zero normalized windows (Figure 4c's metric)."""
-        values = [v for v in self.normalized_series if v > 0]
-        if not values:
-            return 0.0
-        return sum(values) / len(values)
-
-    @property
-    def peak_normalized_throughput(self) -> float:
-        """Max windowed throughput over the enforced rate (burst)."""
-        if not self.aggregate_series.values:
-            return 0.0
-        return self.aggregate_series.max() / self.rate
-
-    @property
-    def fairness(self) -> float:
-        """Jain's index over mean per-slot throughputs."""
-        return jain_index([s.mean() for s in self.slot_series.values()])
+    limiter: RateLimiter = field(default=None, repr=False)  # type: ignore[assignment]
+    scenario: AggregateScenario = field(default=None, repr=False)  # type: ignore[assignment]
 
 
 def run_aggregate(
@@ -78,45 +65,48 @@ def run_aggregate(
     policy: Policy | None = None,
     queue_bytes: float | None = None,
 ) -> AggregateResult:
-    """Simulate one aggregate under ``scheme`` and measure it."""
-    sim = Simulator()
-    num_queues = max(s.slot for s in specs) + 1
-    limiter = make_limiter(
-        sim,
-        scheme,
+    """Simulate one aggregate under ``scheme`` and measure it (in-process)."""
+    config = AggregateConfig(
+        scheme=scheme,
+        specs=tuple(specs),
         rate=rate,
-        num_queues=num_queues,
         max_rtt=max_rtt,
-        weights=weights,
+        horizon=horizon,
+        warmup=warmup,
+        seed=seed,
+        bottleneck=bottleneck,
+        weights=tuple(weights) if weights else None,
         policy=policy,
         queue_bytes=queue_bytes,
     )
-    scenario = AggregateScenario(
-        sim,
-        limiter=limiter,
-        specs=specs,
-        rng=random.Random(seed),
-        horizon=horizon,
-        bottleneck=bottleneck,
-    )
+    sim = Simulator()
+    limiter, scenario = build_scenario(config, sim)
     scenario.run()
-    records = scenario.trace.records
+    outcome = measure(config, limiter, scenario)
     return AggregateResult(
-        scheme=scheme,
-        rate=rate,
-        aggregate_series=aggregate_throughput_series(
-            records, window=MEASUREMENT_WINDOW, start=warmup, end=horizon
-        ),
-        slot_series=per_slot_throughput_series(
-            records, window=MEASUREMENT_WINDOW, start=warmup, end=horizon
-        ),
-        drop_rate=limiter.stats.drop_rate,
-        cycles_per_packet=limiter.cost.cycles_per_packet(
-            limiter.stats.arrived_packets
-        ),
-        arrived_packets=limiter.stats.arrived_packets,
-        limiter=limiter,
-        scenario=scenario,
+        **outcome.__dict__, limiter=limiter, scenario=scenario
+    )
+
+
+def run_aggregates(
+    configs: Sequence[AggregateConfig],
+    *,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+) -> list[AggregateOutcome]:
+    """Run a grid of aggregate configs through the sweep runner.
+
+    Results come back in input order.  ``jobs=None``/``1`` executes
+    serially in-process and matches parallel output bit for bit; a cache
+    keyed per-scheme skips cells whose config and scheme code are
+    unchanged since a previous run.
+    """
+    return run_tasks(
+        simulate_aggregate,
+        configs,
+        jobs=jobs,
+        cache=cache,
+        fingerprint=AggregateConfig.code_fingerprint,
     )
 
 

@@ -20,13 +20,18 @@ from dataclasses import dataclass, field
 from repro.classify.classifier import SlotClassifier
 from repro.core.bcpqp import BCPQP
 from repro.core.pqp import PQP
-from repro.experiments.common import MEASUREMENT_WINDOW, print_table
+from repro.experiments.common import (
+    MEASUREMENT_WINDOW,
+    ResultCache,
+    print_table,
+)
 from repro.metrics.fairness import jain_index
 from repro.metrics.throughput import (
     aggregate_throughput_series,
     per_slot_throughput_series,
 )
 from repro.policy.tree import Policy
+from repro.runner import run_tasks
 from repro.scenario import AggregateScenario
 from repro.sim.simulator import Simulator
 from repro.units import mbps, ms
@@ -78,44 +83,79 @@ def _build(scheme: str, config: Config, mark: bool, sim: Simulator):
     return PQP(sim, **kwargs) if scheme == "pqp" else BCPQP(sim, **kwargs)
 
 
-def run(config: Config | None = None) -> Result:
+@dataclass(frozen=True)
+class EcnCell:
+    """One (scheme, marking on/off) simulation."""
+
+    scheme: str
+    mark: bool
+    config: Config
+
+
+def simulate_ecn_cell(cell: EcnCell) -> Cell:
+    """Worker entry for one ECN comparison cell."""
+    config = cell.config
+    sim = Simulator()
+    limiter = _build(cell.scheme, config, cell.mark, sim)
+    specs = [
+        FlowSpec(slot=i, cc=cc, rtt=rtt, ecn=True)
+        for i, (cc, rtt) in enumerate(zip(config.ccs, config.rtts))
+    ]
+    scenario = AggregateScenario(
+        sim, limiter=limiter, specs=specs,
+        rng=random.Random(config.seed), horizon=config.horizon)
+    scenario.run()
+    agg = aggregate_throughput_series(
+        scenario.trace, window=MEASUREMENT_WINDOW,
+        start=config.warmup, end=config.horizon)
+    slots = per_slot_throughput_series(
+        scenario.trace, window=MEASUREMENT_WINDOW,
+        start=config.warmup, end=config.horizon)
+    return Cell(
+        mean_normalized=agg.mean() / config.rate,
+        peak_normalized=agg.max() / config.rate,
+        fairness=jain_index([s.mean() for s in slots.values()]),
+        drop_rate=limiter.stats.drop_rate,
+        marked_packets=limiter.ecn_marked_packets,
+        retransmits=sum(
+            r.senders[-1].retransmits for r in scenario.runners),
+    )
+
+
+def grid(config: Config) -> list[EcnCell]:
+    """Scheme-major, marking-minor — the report's row order."""
+    return [
+        EcnCell(scheme=scheme, mark=mark, config=config)
+        for scheme in ("pqp", "bcpqp")
+        for mark in (False, True)
+    ]
+
+
+def run(
+    config: Config | None = None,
+    *,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+) -> Result:
     """Compare PQP and BC-PQP with and without ECN marking."""
     config = config or Config()
     result = Result()
-    for scheme in ("pqp", "bcpqp"):
-        for mark in (False, True):
-            sim = Simulator()
-            limiter = _build(scheme, config, mark, sim)
-            specs = [
-                FlowSpec(slot=i, cc=cc, rtt=rtt, ecn=True)
-                for i, (cc, rtt) in enumerate(zip(config.ccs, config.rtts))
-            ]
-            scenario = AggregateScenario(
-                sim, limiter=limiter, specs=specs,
-                rng=random.Random(config.seed), horizon=config.horizon)
-            scenario.run()
-            agg = aggregate_throughput_series(
-                scenario.trace.records, window=MEASUREMENT_WINDOW,
-                start=config.warmup, end=config.horizon)
-            slots = per_slot_throughput_series(
-                scenario.trace.records, window=MEASUREMENT_WINDOW,
-                start=config.warmup, end=config.horizon)
-            result.cells[(scheme, mark)] = Cell(
-                mean_normalized=agg.mean() / config.rate,
-                peak_normalized=agg.max() / config.rate,
-                fairness=jain_index([s.mean() for s in slots.values()]),
-                drop_rate=limiter.stats.drop_rate,
-                marked_packets=limiter.ecn_marked_packets,
-                retransmits=sum(
-                    r.senders[-1].retransmits for r in scenario.runners),
-            )
+    cells = grid(config)
+    outcomes = run_tasks(simulate_ecn_cell, cells, jobs=jobs, cache=cache)
+    for cell, outcome in zip(cells, outcomes):
+        result.cells[(cell.scheme, cell.mark)] = outcome
     return result
 
 
-def main(config: Config | None = None) -> Result:
+def main(
+    config: Config | None = None,
+    *,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+) -> Result:
     """Print the extension comparison table."""
     config = config or Config()
-    result = run(config)
+    result = run(config, jobs=jobs, cache=cache)
     print("Extension: ECN marking on phantom queues "
           f"(mark at {config.mark_fraction:.0%} occupancy)")
     rows = []

@@ -20,10 +20,16 @@ from dataclasses import dataclass, field
 
 from repro.classify.classifier import HashClassifier
 from repro.core.bcpqp import BCPQP
-from repro.experiments.common import MEASUREMENT_WINDOW, print_table
+from repro.experiments.common import (
+    MEASUREMENT_WINDOW,
+    ResultCache,
+    print_table,
+)
 from repro.metrics.fairness import jain_index
 from repro.metrics.throughput import per_slot_throughput_series
+from repro.net.packet import FlowId
 from repro.policy.tree import Policy
+from repro.runner import run_tasks
 from repro.scenario import AggregateScenario
 from repro.sim.simulator import Simulator
 from repro.units import mbps, ms
@@ -51,52 +57,87 @@ class Result:
     collisions_by_queues: dict[int, int] = field(default_factory=dict)
 
 
-def run(config: Config | None = None) -> Result:
+@dataclass(frozen=True)
+class HashCell:
+    """One hash-table size; RTTs are pre-drawn so the cell is a pure
+    function of its fields (and hence cacheable/fork-safe)."""
+
+    n_queues: int
+    rtts: tuple[float, ...]
+    config: Config
+
+
+def simulate_hash_cell(cell: HashCell) -> tuple[float, int]:
+    """Worker entry: (flow-level Jain index, colliding flows)."""
+    config = cell.config
+    n_queues = cell.n_queues
+    sim = Simulator()
+    classifier = HashClassifier(n_queues, salt=config.seed)
+    limiter = BCPQP(
+        sim,
+        rate=config.rate,
+        policy=Policy.fair(n_queues),
+        classifier=classifier,
+        queue_bytes=500_000.0,
+    )
+    specs = [
+        FlowSpec(slot=i, cc=config.cc, rtt=cell.rtts[i])
+        for i in range(config.num_flows)
+    ]
+    scenario = AggregateScenario(
+        sim, limiter=limiter, specs=specs,
+        rng=random.Random(config.seed), horizon=config.horizon)
+    scenario.run()
+    slots = per_slot_throughput_series(
+        scenario.trace, window=MEASUREMENT_WINDOW,
+        start=config.warmup, end=config.horizon)
+    shares = [
+        slots[i].mean() if i in slots else 0.0
+        for i in range(config.num_flows)
+    ]
+    occupancy = [0] * n_queues
+    for i in range(config.num_flows):
+        occupancy[classifier.queue_of(FlowId(0, i))] += 1
+    collisions = sum(c - 1 for c in occupancy if c > 1)
+    return jain_index(shares), collisions
+
+
+def grid(config: Config) -> list[HashCell]:
+    """One cell per hash-table size, sharing one pre-drawn RTT vector."""
+    rng = random.Random(config.seed)
+    rtts = tuple(ms(rng.uniform(10, 40)) for _ in range(config.num_flows))
+    return [
+        HashCell(n_queues=n, rtts=rtts, config=config)
+        for n in config.queue_counts
+    ]
+
+
+def run(
+    config: Config | None = None,
+    *,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+) -> Result:
     """Measure flow-level fairness as the hash table grows."""
     config = config or Config()
     result = Result()
-    rng = random.Random(config.seed)
-    rtts = [ms(rng.uniform(10, 40)) for _ in range(config.num_flows)]
-    for n_queues in config.queue_counts:
-        sim = Simulator()
-        classifier = HashClassifier(n_queues, salt=config.seed)
-        limiter = BCPQP(
-            sim,
-            rate=config.rate,
-            policy=Policy.fair(n_queues),
-            classifier=classifier,
-            queue_bytes=500_000.0,
-        )
-        specs = [
-            FlowSpec(slot=i, cc=config.cc, rtt=rtts[i])
-            for i in range(config.num_flows)
-        ]
-        scenario = AggregateScenario(
-            sim, limiter=limiter, specs=specs,
-            rng=random.Random(config.seed), horizon=config.horizon)
-        scenario.run()
-        slots = per_slot_throughput_series(
-            scenario.trace.records, window=MEASUREMENT_WINDOW,
-            start=config.warmup, end=config.horizon)
-        shares = [
-            slots[i].mean() if i in slots else 0.0
-            for i in range(config.num_flows)
-        ]
-        result.fairness_by_queues[n_queues] = jain_index(shares)
-        from repro.net.packet import FlowId
-        occupancy = [0] * n_queues
-        for i in range(config.num_flows):
-            occupancy[classifier.queue_of(FlowId(0, i))] += 1
-        result.collisions_by_queues[n_queues] = sum(
-            c - 1 for c in occupancy if c > 1
-        )
+    cells = grid(config)
+    outcomes = run_tasks(simulate_hash_cell, cells, jobs=jobs, cache=cache)
+    for cell, (jain, collisions) in zip(cells, outcomes):
+        result.fairness_by_queues[cell.n_queues] = jain
+        result.collisions_by_queues[cell.n_queues] = collisions
     return result
 
 
-def main(config: Config | None = None) -> Result:
+def main(
+    config: Config | None = None,
+    *,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+) -> Result:
     """Print the hash-classification table."""
     config = config or Config()
-    result = run(config)
+    result = run(config, jobs=jobs, cache=cache)
     print(f"Hashed classification: {config.num_flows} flows into N queues "
           "(BC-PQP, per-flow fairness goal)")
     print_table(

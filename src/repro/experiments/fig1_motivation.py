@@ -11,7 +11,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.experiments.common import print_table, run_aggregate
+from repro.experiments.common import (
+    AggregateConfig,
+    ResultCache,
+    print_table,
+    run_aggregates,
+)
 from repro.units import mbps, ms, to_mbps
 from repro.workload.spec import FlowSpec
 
@@ -43,34 +48,34 @@ class Result:
     )
 
 
-def run(config: Config | None = None) -> Result:
-    """Run both motivation microbenchmarks."""
-    config = config or Config()
-    result = Result()
+#: Schemes contrasted in 1a.
+_SCHEMES_1A = ("shaper", "policer")
 
-    specs = [
+
+def grid(config: Config) -> list[AggregateConfig]:
+    """The 1a scheme pair followed by the 1b bucket sweep."""
+    specs = tuple(
         FlowSpec(slot=i, cc=cc, rtt=rtt)
         for i, (cc, rtt) in enumerate(zip(config.ccs, config.rtts))
-    ]
-    for scheme in ("shaper", "policer"):
-        agg = run_aggregate(
-            scheme,
-            specs,
+    )
+    cells = [
+        AggregateConfig(
+            scheme=scheme,
+            specs=specs,
             rate=config.rate,
             max_rtt=max(config.rtts),
             horizon=config.horizon,
             warmup=config.warmup,
             seed=config.seed,
         )
-        result.fairness[scheme] = agg.fairness
-        result.cycles_per_packet[scheme] = agg.cycles_per_packet
-
+        for scheme in _SCHEMES_1A
+    ]
     bdp = config.rate * config.rtt_1b
-    single = [FlowSpec(slot=0, cc="reno", rtt=config.rtt_1b)]
-    for mult in config.bucket_multipliers:
-        agg = run_aggregate(
-            "policer",
-            single,
+    single = (FlowSpec(slot=0, cc="reno", rtt=config.rtt_1b),)
+    cells.extend(
+        AggregateConfig(
+            scheme="policer",
+            specs=single,
             rate=config.rate,
             max_rtt=config.rtt_1b,
             horizon=config.horizon,
@@ -78,6 +83,29 @@ def run(config: Config | None = None) -> Result:
             seed=config.seed,
             queue_bytes=mult * bdp,
         )
+        for mult in config.bucket_multipliers
+    )
+    return cells
+
+
+def run(
+    config: Config | None = None,
+    *,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+) -> Result:
+    """Run both motivation microbenchmarks."""
+    config = config or Config()
+    result = Result()
+    outcomes = iter(run_aggregates(grid(config), jobs=jobs, cache=cache))
+
+    for scheme in _SCHEMES_1A:
+        agg = next(outcomes)
+        result.fairness[scheme] = agg.fairness
+        result.cycles_per_packet[scheme] = agg.cycles_per_packet
+
+    for mult in config.bucket_multipliers:
+        agg = next(outcomes)
         result.bucket_tradeoff[mult] = (
             agg.mean_normalized_throughput,
             agg.peak_normalized_throughput,
@@ -85,10 +113,15 @@ def run(config: Config | None = None) -> Result:
     return result
 
 
-def main(config: Config | None = None) -> Result:
+def main(
+    config: Config | None = None,
+    *,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+) -> Result:
     """Print the Figure 1 tables."""
     config = config or Config()
-    result = run(config)
+    result = run(config, jobs=jobs, cache=cache)
     print(f"Figure 1a: fairness vs CPU cost, {to_mbps(config.rate):.0f} Mbps, "
           f"4 CC algorithms")
     print_table(

@@ -12,7 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.sizing import reno_min_phantom_buffer
-from repro.experiments.common import print_table, run_aggregate
+from repro.experiments.common import (
+    AggregateConfig,
+    ResultCache,
+    print_table,
+    run_aggregates,
+)
 from repro.units import kilobytes, mbps, ms, to_mbps
 from repro.workload.spec import FlowSpec
 
@@ -40,17 +45,13 @@ class Result:
     )
 
 
-def run(config: Config | None = None) -> Result:
-    """Sweep the phantom buffer size for a single Reno flow."""
-    config = config or Config()
-    result = Result(
-        analytic_min_bytes=reno_min_phantom_buffer(config.rate, config.rtt)
-    )
-    specs = [FlowSpec(slot=0, cc="reno", rtt=config.rtt)]
-    for kb in config.buffer_kb:
-        agg = run_aggregate(
-            "pqp",
-            specs,
+def grid(config: Config) -> list[AggregateConfig]:
+    """One PQP run per phantom-buffer size."""
+    specs = (FlowSpec(slot=0, cc="reno", rtt=config.rtt),)
+    return [
+        AggregateConfig(
+            scheme="pqp",
+            specs=specs,
             rate=config.rate,
             max_rtt=config.rtt,
             horizon=config.horizon,
@@ -58,6 +59,23 @@ def run(config: Config | None = None) -> Result:
             seed=config.seed,
             queue_bytes=kilobytes(kb),
         )
+        for kb in config.buffer_kb
+    ]
+
+
+def run(
+    config: Config | None = None,
+    *,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+) -> Result:
+    """Sweep the phantom buffer size for a single Reno flow."""
+    config = config or Config()
+    result = Result(
+        analytic_min_bytes=reno_min_phantom_buffer(config.rate, config.rtt)
+    )
+    outcomes = run_aggregates(grid(config), jobs=jobs, cache=cache)
+    for kb, agg in zip(config.buffer_kb, outcomes):
         result.by_buffer[kb] = (
             to_mbps(agg.aggregate_series.mean()),
             to_mbps(agg.aggregate_series.max()),
@@ -66,10 +84,15 @@ def run(config: Config | None = None) -> Result:
     return result
 
 
-def main(config: Config | None = None) -> Result:
+def main(
+    config: Config | None = None,
+    *,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+) -> Result:
     """Print the Figure 2 table."""
     config = config or Config()
-    result = run(config)
+    result = run(config, jobs=jobs, cache=cache)
     print(f"Figure 2: Reno flow, RTT {config.rtt * 1e3:.0f} ms, enforcing "
           f"{to_mbps(config.rate):.0f} Mbps")
     print(f"Appendix A minimum buffer: "

@@ -18,7 +18,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.experiments.common import print_table, run_aggregate
+from repro.experiments.common import (
+    AggregateConfig,
+    ResultCache,
+    print_table,
+    run_aggregates,
+)
 from repro.metrics.fairness import jain_index
 from repro.metrics.stats import percentile
 from repro.scenario import BottleneckSpec
@@ -90,24 +95,42 @@ def _window_fairness(agg, config: Config) -> list[float]:
     return jains
 
 
-def run(config: Config | None = None) -> Result:
-    """Compare PQP and BC-PQP across the secondary bottleneck."""
-    config = config or Config()
-    result = Result()
-    for scheme in ("pqp", "bcpqp"):
-        agg = run_aggregate(
-            scheme,
-            _specs(config),
+_SCHEMES = ("pqp", "bcpqp")
+
+
+def grid(config: Config) -> list[AggregateConfig]:
+    """PQP vs BC-PQP over the same bottlenecked workload."""
+    specs = tuple(_specs(config))
+    bottleneck = BottleneckSpec(
+        rate=config.bottleneck_rate,
+        buffer_bytes=config.bottleneck_buffer_packets * MSS,
+    )
+    return [
+        AggregateConfig(
+            scheme=scheme,
+            specs=specs,
             rate=config.rate,
             max_rtt=config.sizing_rtt,
             horizon=config.horizon,
             warmup=config.warmup,
             seed=config.seed,
-            bottleneck=BottleneckSpec(
-                rate=config.bottleneck_rate,
-                buffer_bytes=config.bottleneck_buffer_packets * MSS,
-            ),
+            bottleneck=bottleneck,
         )
+        for scheme in _SCHEMES
+    ]
+
+
+def run(
+    config: Config | None = None,
+    *,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+) -> Result:
+    """Compare PQP and BC-PQP across the secondary bottleneck."""
+    config = config or Config()
+    result = Result()
+    outcomes = run_aggregates(grid(config), jobs=jobs, cache=cache)
+    for scheme, agg in zip(_SCHEMES, outcomes):
         jains = _window_fairness(agg, config)
         result.mean_window_fairness[scheme] = (
             sum(jains) / len(jains) if jains else 0.0
@@ -119,17 +142,19 @@ def run(config: Config | None = None) -> Result:
             slot: to_mbps(series.mean())
             for slot, series in sorted(agg.slot_series.items())
         }
-        bottleneck = agg.scenario.bottleneck
-        result.bottleneck_drops[scheme] = (
-            bottleneck.dropped_packets if bottleneck else 0
-        )
+        result.bottleneck_drops[scheme] = agg.bottleneck_drops
     return result
 
 
-def main(config: Config | None = None) -> Result:
+def main(
+    config: Config | None = None,
+    *,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+) -> Result:
     """Print the Figure 3 comparison."""
     config = config or Config()
-    result = run(config)
+    result = run(config, jobs=jobs, cache=cache)
     print(f"Figure 3: {to_mbps(config.rate):.1f} Mbps fair-shared across 4 "
           f"CCs, {to_mbps(config.bottleneck_rate):.1f} Mbps secondary "
           f"bottleneck")

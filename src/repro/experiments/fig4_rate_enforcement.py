@@ -14,7 +14,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.experiments.common import print_table, run_aggregate
+from repro.experiments.common import (
+    AggregateConfig,
+    ResultCache,
+    print_table,
+    run_aggregates,
+)
 from repro.metrics.stats import percentile
 from repro.units import mbps, to_mbps
 from repro.workload.aggregates import Section61Config, make_section61_aggregates
@@ -53,24 +58,40 @@ class SchemeSummary:
     peak: float = 0.0
 
 
-def run(config: Config | None = None) -> dict[str, SchemeSummary]:
+def grid(config: Config) -> list[AggregateConfig]:
+    """The (scheme x aggregate) sweep grid as runner configs."""
+    aggregates = make_section61_aggregates(config.workload)
+    return [
+        AggregateConfig(
+            scheme=scheme,
+            specs=agg_spec.flows,
+            rate=agg_spec.rate,
+            max_rtt=agg_spec.max_rtt,
+            horizon=config.workload.horizon,
+            warmup=config.warmup,
+            seed=config.workload.seed + agg_spec.aggregate_id,
+        )
+        for scheme in config.schemes
+        for agg_spec in aggregates
+    ]
+
+
+def run(
+    config: Config | None = None,
+    *,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+) -> dict[str, SchemeSummary]:
     """Run every aggregate under every scheme; aggregate the measurements."""
     config = config or Config()
+    outcomes = iter(run_aggregates(grid(config), jobs=jobs, cache=cache))
     aggregates = make_section61_aggregates(config.workload)
     results: dict[str, SchemeSummary] = {}
     for scheme in config.schemes:
         summary = SchemeSummary()
         drops: dict[float, list[float]] = {}
         for agg_spec in aggregates:
-            agg = run_aggregate(
-                scheme,
-                agg_spec.flows,
-                rate=agg_spec.rate,
-                max_rtt=agg_spec.max_rtt,
-                horizon=config.workload.horizon,
-                warmup=config.warmup,
-                seed=config.workload.seed + agg_spec.aggregate_id,
-            )
+            agg = next(outcomes)
             summary.normalized_samples.extend(
                 v for v in agg.normalized_series
             )
@@ -89,10 +110,15 @@ def run(config: Config | None = None) -> dict[str, SchemeSummary]:
     return results
 
 
-def main(config: Config | None = None) -> dict[str, SchemeSummary]:
+def main(
+    config: Config | None = None,
+    *,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+) -> dict[str, SchemeSummary]:
     """Print Figure 4's tables (4a/4b distribution, 4c means, 4d drops)."""
     config = config or Config()
-    results = run(config)
+    results = run(config, jobs=jobs, cache=cache)
     print("Figure 4a/4b: normalized 250 ms aggregate throughput")
     print_table(
         ["scheme", "p50", "p99 (burst tail)", "max"],

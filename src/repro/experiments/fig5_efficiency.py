@@ -14,7 +14,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.experiments.common import print_table, run_aggregate
+from repro.experiments.common import (
+    AggregateConfig,
+    ResultCache,
+    print_table,
+    run_aggregates,
+)
 from repro.units import mbps, ms
 from repro.workload.spec import FlowSpec
 
@@ -47,32 +52,50 @@ class Result:
         return {s: c / base for s, c in self.cycles_per_packet.items()}
 
 
-def run(config: Config | None = None) -> Result:
-    """Accumulate the cost model over one aggregate per scheme."""
-    config = config or Config()
-    result = Result()
-    specs = [
+def grid(config: Config) -> list[AggregateConfig]:
+    """One busy aggregate per scheme."""
+    specs = tuple(
         FlowSpec(slot=i, cc=cc, rtt=rtt)
         for i, (cc, rtt) in enumerate(zip(config.ccs, config.rtts))
-    ]
-    for scheme in config.schemes:
-        agg = run_aggregate(
-            scheme,
-            specs,
+    )
+    return [
+        AggregateConfig(
+            scheme=scheme,
+            specs=specs,
             rate=config.rate,
             max_rtt=max(config.rtts),
             horizon=config.horizon,
             warmup=config.warmup,
             seed=config.seed,
         )
+        for scheme in config.schemes
+    ]
+
+
+def run(
+    config: Config | None = None,
+    *,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+) -> Result:
+    """Accumulate the cost model over one aggregate per scheme."""
+    config = config or Config()
+    result = Result()
+    outcomes = run_aggregates(grid(config), jobs=jobs, cache=cache)
+    for scheme, agg in zip(config.schemes, outcomes):
         result.cycles_per_packet[scheme] = agg.cycles_per_packet
         result.packets[scheme] = agg.arrived_packets
     return result
 
 
-def main(config: Config | None = None) -> Result:
+def main(
+    config: Config | None = None,
+    *,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+) -> Result:
     """Print the Figure 5 table."""
-    result = run(config)
+    result = run(config, jobs=jobs, cache=cache)
     ratios = result.ratio_to("policer")
     print("Figure 5: modeled CPU cycles per packet")
     print_table(

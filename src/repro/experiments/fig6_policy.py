@@ -13,7 +13,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.experiments.common import print_table, run_aggregate
+from repro.experiments.common import (
+    AggregateConfig,
+    ResultCache,
+    print_table,
+    run_aggregates,
+)
 from repro.metrics.fairness import weighted_jain_index
 from repro.metrics.stats import percentile
 from repro.policy.tree import Policy
@@ -66,21 +71,40 @@ class Result:
     nested_weighted_jain: float = 0.0
 
 
-def run_fairness_cdf(config: Config, result: Result) -> None:
+def fairness_cdf_grid(config: Config) -> list[AggregateConfig]:
+    """6a cells: scheme x §6.1 aggregate."""
+    aggregates = make_section61_aggregates(config.workload)
+    return [
+        AggregateConfig(
+            scheme=scheme,
+            specs=tuple(agg_spec.flows),
+            rate=agg_spec.rate,
+            max_rtt=agg_spec.max_rtt,
+            horizon=config.workload.horizon,
+            warmup=config.warmup,
+            seed=config.workload.seed + agg_spec.aggregate_id,
+        )
+        for scheme in config.fairness_schemes
+        for agg_spec in aggregates
+    ]
+
+
+def run_fairness_cdf(
+    config: Config,
+    result: Result,
+    *,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+) -> None:
     """6a: per-flow fairness across the §6.1 workload."""
     aggregates = make_section61_aggregates(config.workload)
+    outcomes = iter(
+        run_aggregates(fairness_cdf_grid(config), jobs=jobs, cache=cache)
+    )
     for scheme in config.fairness_schemes:
         samples = []
-        for agg_spec in aggregates:
-            agg = run_aggregate(
-                scheme,
-                agg_spec.flows,
-                rate=agg_spec.rate,
-                max_rtt=agg_spec.max_rtt,
-                horizon=config.workload.horizon,
-                warmup=config.warmup,
-                seed=config.workload.seed + agg_spec.aggregate_id,
-            )
+        for _agg_spec in aggregates:
+            agg = next(outcomes)
             samples.append(agg.fairness)
         result.fairness_cdf[scheme] = (
             percentile(samples, 10),
@@ -89,10 +113,13 @@ def run_fairness_cdf(config: Config, result: Result) -> None:
         )
 
 
-def run_weighted(config: Config, result: Result) -> None:
-    """6b/6c: weight-proportional flows should finish together."""
-    weights = list(config.weights)
-    specs = [
+_WEIGHTED_SCHEMES = ("fairpolicer", "bcpqp")
+
+
+def weighted_grid(config: Config) -> list[AggregateConfig]:
+    """6b/6c cells: two schemes over the weight-proportional workload."""
+    weights = tuple(config.weights)
+    specs = tuple(
         FlowSpec(
             slot=i,
             cc="cubic",
@@ -101,19 +128,33 @@ def run_weighted(config: Config, result: Result) -> None:
             weight=w,
         )
         for i, w in enumerate(weights)
-    ]
-    for scheme in ("fairpolicer", "bcpqp"):
-        agg = run_aggregate(
-            scheme,
-            specs,
+    )
+    return [
+        AggregateConfig(
+            scheme=scheme,
+            specs=specs,
             rate=config.weighted_rate,
             max_rtt=config.weighted_rtt,
             horizon=config.weighted_horizon,
             warmup=1.0,
             weights=weights,
         )
-        records = agg.scenario.flow_records
-        ends = {r.slot: r.end for r in records}
+        for scheme in _WEIGHTED_SCHEMES
+    ]
+
+
+def run_weighted(
+    config: Config,
+    result: Result,
+    *,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+) -> None:
+    """6b/6c: weight-proportional flows should finish together."""
+    weights = list(config.weights)
+    outcomes = run_aggregates(weighted_grid(config), jobs=jobs, cache=cache)
+    for scheme, agg in zip(_WEIGHTED_SCHEMES, outcomes):
+        ends = {r.slot: r.end for r in agg.flow_records}
         if len(ends) == len(weights):
             spread = max(ends.values()) - min(ends.values())
         else:
@@ -124,25 +165,38 @@ def run_weighted(config: Config, result: Result) -> None:
         result.weighted[scheme] = (spread, wj)
 
 
-def run_nested(config: Config, result: Result) -> None:
-    """6d: prioritization + weighted fairness, BC-PQP only."""
+def nested_grid(config: Config) -> list[AggregateConfig]:
+    """6d cell: one BC-PQP run under the nested priority policy."""
     policy = Policy.nested(
         [[1.0, 2.0, 3.0], [1.0]], group_priorities=[0, 1]
     )
-    specs = [
+    specs = tuple(
         FlowSpec(slot=i, cc="cubic", rtt=ms(20), weight=float(i + 1),
                  on_off=OnOffSpec(burst_packets_mean=500, off_time_mean=1.0))
         for i in range(3)
-    ] + [FlowSpec(slot=3, cc="cubic", rtt=ms(20))]
-    agg = run_aggregate(
-        "bcpqp",
-        specs,
-        rate=config.nested_rate,
-        max_rtt=ms(50),
-        horizon=config.nested_horizon,
-        warmup=2.0,
-        policy=policy,
-    )
+    ) + (FlowSpec(slot=3, cc="cubic", rtt=ms(20)),)
+    return [
+        AggregateConfig(
+            scheme="bcpqp",
+            specs=specs,
+            rate=config.nested_rate,
+            max_rtt=ms(50),
+            horizon=config.nested_horizon,
+            warmup=2.0,
+            policy=policy,
+        )
+    ]
+
+
+def run_nested(
+    config: Config,
+    result: Result,
+    *,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+) -> None:
+    """6d: prioritization + weighted fairness, BC-PQP only."""
+    (agg,) = run_aggregates(nested_grid(config), jobs=jobs, cache=cache)
     # Classify measurement windows by whether the high-prio group was busy.
     high = [agg.slot_series[i] for i in range(3) if i in agg.slot_series]
     low = agg.slot_series.get(3)
@@ -170,20 +224,30 @@ def run_nested(config: Config, result: Result) -> None:
         )
 
 
-def run(config: Config | None = None) -> Result:
+def run(
+    config: Config | None = None,
+    *,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+) -> Result:
     """Run all three §6.3 experiments."""
     config = config or Config()
     result = Result()
-    run_fairness_cdf(config, result)
-    run_weighted(config, result)
-    run_nested(config, result)
+    run_fairness_cdf(config, result, jobs=jobs, cache=cache)
+    run_weighted(config, result, jobs=jobs, cache=cache)
+    run_nested(config, result, jobs=jobs, cache=cache)
     return result
 
 
-def main(config: Config | None = None) -> Result:
+def main(
+    config: Config | None = None,
+    *,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+) -> Result:
     """Print the Figure 6 tables."""
     config = config or Config()
-    result = run(config)
+    result = run(config, jobs=jobs, cache=cache)
     print("Figure 6a: Jain's fairness index across aggregates")
     print_table(
         ["scheme", "p10", "p50", "mean"],

@@ -17,12 +17,13 @@ import random
 from dataclasses import dataclass, field
 
 from repro.cc.endpoint import FlowDemux
-from repro.experiments.common import MEASUREMENT_WINDOW, print_table
+from repro.experiments.common import MEASUREMENT_WINDOW, ResultCache, print_table
 from repro.metrics.fairness import jain_index
 from repro.metrics.stats import percentile
 from repro.metrics.throughput import per_slot_throughput_series
 from repro.net.packet import FlowId
 from repro.net.trace import Trace
+from repro.runner import run_tasks
 from repro.schemes import make_limiter
 from repro.sim.simulator import Simulator
 from repro.units import mbps, ms
@@ -91,103 +92,168 @@ def _make_path(scheme: str, config: Config, *, weights=None):
     return sim, limiter, demux, trace
 
 
-def run_video(config: Config, result: Result) -> None:
+@dataclass(frozen=True)
+class VideoCell:
+    """One 7a simulation: ``scheme`` enforcing a ``cc`` video session."""
+
+    scheme: str
+    service: str
+    cc: str
+    config: Config
+
+
+@dataclass(frozen=True)
+class WebCell:
+    """One 7b simulation: ``scheme`` enforcing the bulk/web split."""
+
+    scheme: str
+    config: Config
+
+
+def simulate_video_cell(cell: VideoCell) -> VideoOutcome:
+    """Worker entry for one 7a cell (picklable in and out)."""
+    config = cell.config
+    sim, limiter, demux, trace = _make_path(cell.scheme, config)
+    video = VideoSession(
+        sim,
+        ingress=limiter,
+        demux=demux,
+        slot=0,
+        config=VideoConfig(
+            total_chunks=config.video_chunks, cc=cell.cc, rtt=config.rtt
+        ),
+    )
+    # "The rest of the traffic": a backlogged bulk download.
+    wire_flow(
+        sim,
+        FlowId(0, 1, 0),
+        cc="cubic",
+        rtt=config.rtt,
+        ingress=limiter,
+        demux=demux,
+        packets=None,
+        start=0.0,
+    )
+    sim.run(until=config.horizon)
+    # Measure only while the video session is active (a finished
+    # video would dilute the shares with download-only windows).
+    video_end = max(
+        (t for t, f in zip(trace.times, trace.flow_ids) if f.slot == 0),
+        default=config.horizon,
+    )
+    slots = per_slot_throughput_series(
+        trace,
+        window=MEASUREMENT_WINDOW,
+        start=5.0,
+        end=max(video_end, 10.0),
+    )
+    shares = [slots[s].mean() if s in slots else 0.0 for s in (0, 1)]
+    return VideoOutcome(
+        average_quality=video.stats.average_quality(),
+        average_bitrate_mbps=video.stats.average_bitrate(
+            video.config.ladder_mbps
+        ),
+        rebuffer_seconds=video.stats.rebuffer_seconds,
+        fairness=jain_index(shares),
+    )
+
+
+def simulate_web_cell(cell: WebCell) -> tuple[float, float, int]:
+    """Worker entry for one 7b cell: (p50 PLT, p90 PLT, pages done)."""
+    config = cell.config
+    sim, limiter, demux, _trace = _make_path(
+        cell.scheme, config, weights=config.bulk_web_weights
+    )
+    wire_flow(
+        sim,
+        FlowId(0, 0, 0),
+        cc=config.bulk_cc,
+        rtt=config.rtt,
+        ingress=limiter,
+        demux=demux,
+        packets=None,
+        start=0.0,
+    )
+    web = WebSession(
+        sim,
+        ingress=limiter,
+        demux=demux,
+        slot=1,
+        rng=random.Random(config.seed),
+        config=WebConfig(pages=config.web_pages, rtt=config.rtt),
+    )
+    sim.run(until=config.horizon)
+    plts = web.stats.plts()
+    if plts:
+        return (percentile(plts, 50), percentile(plts, 90), len(plts))
+    return (float("inf"), float("inf"), 0)
+
+
+def video_grid(config: Config) -> list[VideoCell]:
+    """7a cells in report order: service-major, scheme-minor."""
+    return [
+        VideoCell(scheme=scheme, service=service, cc=cc, config=config)
+        for service, cc in SERVICES.items()
+        for scheme in SCHEMES
+    ]
+
+
+def web_grid(config: Config) -> list[WebCell]:
+    """7b cells: one per scheme."""
+    return [WebCell(scheme=scheme, config=config) for scheme in SCHEMES]
+
+
+def run_video(
+    config: Config,
+    result: Result,
+    *,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+) -> None:
     """7a: video session (slot 0) vs bulk download (slot 1)."""
-    for service, cc in SERVICES.items():
-        for scheme in SCHEMES:
-            sim, limiter, demux, trace = _make_path(scheme, config)
-            video = VideoSession(
-                sim,
-                ingress=limiter,
-                demux=demux,
-                slot=0,
-                config=VideoConfig(
-                    total_chunks=config.video_chunks, cc=cc, rtt=config.rtt
-                ),
-            )
-            # "The rest of the traffic": a backlogged bulk download.
-            wire_flow(
-                sim,
-                FlowId(0, 1, 0),
-                cc="cubic",
-                rtt=config.rtt,
-                ingress=limiter,
-                demux=demux,
-                packets=None,
-                start=0.0,
-            )
-            sim.run(until=config.horizon)
-            # Measure only while the video session is active (a finished
-            # video would dilute the shares with download-only windows).
-            video_end = max(
-                (r.time for r in trace.records if r.flow.slot == 0),
-                default=config.horizon,
-            )
-            slots = per_slot_throughput_series(
-                trace.records,
-                window=MEASUREMENT_WINDOW,
-                start=5.0,
-                end=max(video_end, 10.0),
-            )
-            shares = [
-                slots[s].mean() if s in slots else 0.0 for s in (0, 1)
-            ]
-            result.video[(scheme, service)] = VideoOutcome(
-                average_quality=video.stats.average_quality(),
-                average_bitrate_mbps=video.stats.average_bitrate(
-                    video.config.ladder_mbps
-                ),
-                rebuffer_seconds=video.stats.rebuffer_seconds,
-                fairness=jain_index(shares),
-            )
+    cells = video_grid(config)
+    outcomes = run_tasks(simulate_video_cell, cells, jobs=jobs, cache=cache)
+    for cell, outcome in zip(cells, outcomes):
+        result.video[(cell.scheme, cell.service)] = outcome
 
 
-def run_web(config: Config, result: Result) -> None:
+def run_web(
+    config: Config,
+    result: Result,
+    *,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+) -> None:
     """7b: bulk download (slot 0, weight 4) vs web browsing (slot 1)."""
-    for scheme in SCHEMES:
-        sim, limiter, demux, _trace = _make_path(
-            scheme, config, weights=config.bulk_web_weights
-        )
-        wire_flow(
-            sim,
-            FlowId(0, 0, 0),
-            cc=config.bulk_cc,
-            rtt=config.rtt,
-            ingress=limiter,
-            demux=demux,
-            packets=None,
-            start=0.0,
-        )
-        web = WebSession(
-            sim,
-            ingress=limiter,
-            demux=demux,
-            slot=1,
-            rng=random.Random(config.seed),
-            config=WebConfig(pages=config.web_pages, rtt=config.rtt),
-        )
-        sim.run(until=config.horizon)
-        plts = web.stats.plts()
-        if plts:
-            result.web[scheme] = (
-                percentile(plts, 50), percentile(plts, 90), len(plts))
-        else:
-            result.web[scheme] = (float("inf"), float("inf"), 0)
+    cells = web_grid(config)
+    outcomes = run_tasks(simulate_web_cell, cells, jobs=jobs, cache=cache)
+    for cell, outcome in zip(cells, outcomes):
+        result.web[cell.scheme] = outcome
 
 
-def run(config: Config | None = None) -> Result:
+def run(
+    config: Config | None = None,
+    *,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+) -> Result:
     """Run both application studies."""
     config = config or Config()
     result = Result()
-    run_video(config, result)
-    run_web(config, result)
+    run_video(config, result, jobs=jobs, cache=cache)
+    run_web(config, result, jobs=jobs, cache=cache)
     return result
 
 
-def main(config: Config | None = None) -> Result:
+def main(
+    config: Config | None = None,
+    *,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+) -> Result:
     """Print the Figure 7 tables."""
     config = config or Config()
-    result = run(config)
+    result = run(config, jobs=jobs, cache=cache)
     print("Figure 7a: video quality vs fairness at 3 Mbps")
     rows = []
     for (scheme, service), o in result.video.items():

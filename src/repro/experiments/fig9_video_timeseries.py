@@ -12,11 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cc.endpoint import FlowDemux
-from repro.experiments.common import print_table
+from repro.experiments.common import ResultCache, print_table
 from repro.metrics.series import TimeSeries
 from repro.metrics.throughput import per_slot_throughput_series
 from repro.net.packet import FlowId
 from repro.net.trace import Trace
+from repro.runner import run_tasks
 from repro.schemes import make_limiter
 from repro.sim.simulator import Simulator
 from repro.units import mbps, ms, to_mbps
@@ -47,46 +48,80 @@ class Result:
     rebuffer_seconds: dict[str, float] = field(default_factory=dict)
 
 
-def run(config: Config | None = None) -> Result:
+@dataclass(frozen=True)
+class SchemeCell:
+    """One Figure 9 simulation: a scheme enforcing the video/bulk mix."""
+
+    scheme: str
+    config: Config
+
+
+def simulate_scheme_cell(
+    cell: SchemeCell,
+) -> tuple[TimeSeries, float, float]:
+    """Worker entry: (video series, video share, rebuffer seconds)."""
+    config = cell.config
+    sim = Simulator()
+    limiter = make_limiter(sim, cell.scheme, rate=config.rate, num_queues=2,
+                           max_rtt=config.rtt)
+    demux = FlowDemux()
+    trace = Trace(sim, demux, data_only=True)
+    limiter.connect(trace)
+    video = VideoSession(
+        sim, ingress=limiter, demux=demux, slot=0,
+        config=VideoConfig(total_chunks=config.chunks, cc="bbr",
+                           rtt=config.rtt))
+    wire_flow(sim, FlowId(0, 1, 0), cc="cubic", rtt=config.rtt,
+              ingress=limiter, demux=demux, packets=None, start=0.0)
+    sim.run(until=config.horizon)
+    video_end = max(
+        (t for t, f in zip(trace.times, trace.flow_ids) if f.slot == 0),
+        default=config.horizon,
+    )
+    slots = per_slot_throughput_series(
+        trace, window=config.window, start=0.0,
+        end=max(video_end, 10.0))
+    video_series = slots.get(0, TimeSeries())
+    other_series = slots.get(1, TimeSeries())
+    video_total = sum(video_series.values)
+    other_total = sum(other_series.values)
+    denom = video_total + other_total
+    share = video_total / denom if denom else 0.0
+    return video_series, share, video.stats.rebuffer_seconds
+
+
+def grid(config: Config) -> list[SchemeCell]:
+    """One cell per enforcement scheme."""
+    return [SchemeCell(scheme=scheme, config=config) for scheme in SCHEMES]
+
+
+def run(
+    config: Config | None = None,
+    *,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+) -> Result:
     """Run the video-vs-cross-traffic time series for each scheme."""
     config = config or Config()
     result = Result()
-    for scheme in SCHEMES:
-        sim = Simulator()
-        limiter = make_limiter(sim, scheme, rate=config.rate, num_queues=2,
-                               max_rtt=config.rtt)
-        demux = FlowDemux()
-        trace = Trace(sim, demux, data_only=True)
-        limiter.connect(trace)
-        video = VideoSession(
-            sim, ingress=limiter, demux=demux, slot=0,
-            config=VideoConfig(total_chunks=config.chunks, cc="bbr",
-                               rtt=config.rtt))
-        wire_flow(sim, FlowId(0, 1, 0), cc="cubic", rtt=config.rtt,
-                  ingress=limiter, demux=demux, packets=None, start=0.0)
-        sim.run(until=config.horizon)
-        video_end = max(
-            (r.time for r in trace.records if r.flow.slot == 0),
-            default=config.horizon,
-        )
-        slots = per_slot_throughput_series(
-            trace.records, window=config.window, start=0.0,
-            end=max(video_end, 10.0))
-        video_series = slots.get(0, TimeSeries())
-        other_series = slots.get(1, TimeSeries())
-        result.video_series[scheme] = video_series
-        video_total = sum(video_series.values)
-        other_total = sum(other_series.values)
-        denom = video_total + other_total
-        result.video_share[scheme] = video_total / denom if denom else 0.0
-        result.rebuffer_seconds[scheme] = video.stats.rebuffer_seconds
+    cells = grid(config)
+    outcomes = run_tasks(simulate_scheme_cell, cells, jobs=jobs, cache=cache)
+    for cell, (series, share, rebuffer) in zip(cells, outcomes):
+        result.video_series[cell.scheme] = series
+        result.video_share[cell.scheme] = share
+        result.rebuffer_seconds[cell.scheme] = rebuffer
     return result
 
 
-def main(config: Config | None = None) -> Result:
+def main(
+    config: Config | None = None,
+    *,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+) -> Result:
     """Print the Figure 9 summary plus a coarse time series."""
     config = config or Config()
-    result = run(config)
+    result = run(config, jobs=jobs, cache=cache)
     print("Figure 9: BBR video vs cross traffic at 3 Mbps")
     print_table(
         ["scheme", "video share", "rebuffer s"],

@@ -100,6 +100,11 @@ class Policy:
         """Number of queues the policy covers."""
         return self._num_queues
 
+    def __repr__(self) -> str:
+        # Deterministic (node dataclass reprs, no object ids): the sweep
+        # runner's result cache hashes configs by repr.
+        return f"Policy({self.root!r})"
+
     def fluid_rates(self, active: Sequence[bool], rate: float) -> list[float]:
         """Instantaneous GPS service rate of each queue.
 

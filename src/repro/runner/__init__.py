@@ -1,0 +1,39 @@
+"""Parallel sweep runner: fan independent simulation configs out over
+process workers, with deterministic per-config seeding and an on-disk
+result cache keyed by config + code fingerprints.
+
+The three layers:
+
+* :mod:`repro.runner.pool` — generic ordered ``run_tasks`` map with a
+  bit-for-bit serial fallback;
+* :mod:`repro.runner.cache` — pickle-per-key result store with
+  scheme-aware code fingerprints;
+* :mod:`repro.runner.aggregate` — the picklable config/outcome pair and
+  worker entry point for the standard one-aggregate simulation.
+"""
+
+from repro.runner.aggregate import (
+    MEASUREMENT_WINDOW,
+    AggregateConfig,
+    AggregateOutcome,
+    simulate_aggregate,
+)
+from repro.runner.cache import (
+    ResultCache,
+    package_fingerprint,
+    scheme_fingerprint,
+)
+from repro.runner.pool import default_jobs, run_sweep, run_tasks
+
+__all__ = [
+    "AggregateConfig",
+    "AggregateOutcome",
+    "MEASUREMENT_WINDOW",
+    "ResultCache",
+    "default_jobs",
+    "package_fingerprint",
+    "run_sweep",
+    "run_tasks",
+    "scheme_fingerprint",
+    "simulate_aggregate",
+]

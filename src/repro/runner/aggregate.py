@@ -1,0 +1,174 @@
+"""Picklable aggregate-simulation configs, outcomes, and the worker entry.
+
+:func:`simulate_aggregate` is the unit of work the sweep runner fans out:
+one fully-specified, independently-seeded aggregate simulation in, one
+measurement bundle out.  Both sides are plain picklable dataclasses — no
+simulator, limiter or event-heap state crosses the process boundary, only
+the numbers the figures need.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.limiters.base import RateLimiter
+from repro.metrics.fairness import jain_index
+from repro.metrics.series import TimeSeries
+from repro.metrics.throughput import (
+    aggregate_throughput_series,
+    per_slot_throughput_series,
+)
+from repro.policy.tree import Policy
+from repro.runner.cache import scheme_fingerprint
+from repro.scenario import AggregateScenario, BottleneckSpec, FlowRecord
+from repro.schemes import make_limiter
+from repro.sim.simulator import Simulator
+from repro.workload.spec import FlowSpec
+
+#: Measurement window used throughout the paper's evaluation (250 ms).
+MEASUREMENT_WINDOW = 0.25
+
+
+@dataclass(frozen=True)
+class AggregateConfig:
+    """Everything needed to simulate and measure one aggregate.
+
+    A frozen dataclass of primitives (plus the frozen spec/policy types),
+    so it pickles across process boundaries and its ``repr`` is a stable
+    cache token.  ``seed`` fully determines the run's randomness.
+    """
+
+    scheme: str
+    specs: tuple[FlowSpec, ...]
+    rate: float
+    max_rtt: float
+    horizon: float
+    warmup: float
+    seed: int = 1
+    bottleneck: BottleneckSpec | None = None
+    weights: tuple[float, ...] | None = None
+    policy: Policy | None = None
+    queue_bytes: float | None = None
+    window: float = MEASUREMENT_WINDOW
+
+    def __post_init__(self) -> None:
+        # Tolerate list inputs (call sites build grids with lists) while
+        # keeping the stored config hashable/immutable.
+        if not isinstance(self.specs, tuple):
+            object.__setattr__(self, "specs", tuple(self.specs))
+        if self.weights is not None and not isinstance(self.weights, tuple):
+            object.__setattr__(self, "weights", tuple(self.weights))
+
+    def code_fingerprint(self) -> str:
+        """Cache fingerprint covering this config's scheme code."""
+        return scheme_fingerprint(self.scheme)
+
+
+@dataclass
+class AggregateOutcome:
+    """Everything measured from one aggregate under one scheme.
+
+    Unlike the in-process :class:`~repro.experiments.common.AggregateResult`
+    it does not hold the limiter or scenario objects, so it pickles cleanly;
+    the few cross-object measurements figures need (flow completion records,
+    secondary-bottleneck drops) are extracted eagerly.
+    """
+
+    scheme: str
+    rate: float
+    aggregate_series: TimeSeries
+    slot_series: dict[int, TimeSeries]
+    drop_rate: float
+    cycles_per_packet: float
+    arrived_packets: int
+    flow_records: tuple[FlowRecord, ...] = ()
+    bottleneck_drops: int = 0
+
+    @property
+    def normalized_series(self) -> list[float]:
+        """Windowed aggregate throughput normalized by the enforced rate."""
+        return [v / self.rate for v in self.aggregate_series.values]
+
+    @property
+    def mean_normalized_throughput(self) -> float:
+        """Mean of non-zero normalized windows (Figure 4c's metric)."""
+        values = [v for v in self.normalized_series if v > 0]
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+    @property
+    def peak_normalized_throughput(self) -> float:
+        """Max windowed throughput over the enforced rate (burst)."""
+        if not self.aggregate_series.values:
+            return 0.0
+        return self.aggregate_series.max() / self.rate
+
+    @property
+    def fairness(self) -> float:
+        """Jain's index over mean per-slot throughputs."""
+        return jain_index([s.mean() for s in self.slot_series.values()])
+
+
+def build_scenario(
+    config: AggregateConfig, sim: Simulator
+) -> tuple[RateLimiter, AggregateScenario]:
+    """Wire up the limiter and scenario for ``config`` on ``sim``."""
+    num_queues = max(s.slot for s in config.specs) + 1
+    limiter = make_limiter(
+        sim,
+        config.scheme,
+        rate=config.rate,
+        num_queues=num_queues,
+        max_rtt=config.max_rtt,
+        weights=list(config.weights) if config.weights else None,
+        policy=config.policy,
+        queue_bytes=config.queue_bytes,
+    )
+    scenario = AggregateScenario(
+        sim,
+        limiter=limiter,
+        specs=config.specs,
+        rng=random.Random(config.seed),
+        horizon=config.horizon,
+        bottleneck=config.bottleneck,
+    )
+    return limiter, scenario
+
+
+def measure(
+    config: AggregateConfig,
+    limiter: RateLimiter,
+    scenario: AggregateScenario,
+) -> AggregateOutcome:
+    """Extract the figure measurements from a completed run."""
+    trace = scenario.trace
+    bottleneck = scenario.bottleneck
+    return AggregateOutcome(
+        scheme=config.scheme,
+        rate=config.rate,
+        aggregate_series=aggregate_throughput_series(
+            trace, window=config.window, start=config.warmup,
+            end=config.horizon,
+        ),
+        slot_series=per_slot_throughput_series(
+            trace, window=config.window, start=config.warmup,
+            end=config.horizon,
+        ),
+        drop_rate=limiter.stats.drop_rate,
+        cycles_per_packet=limiter.cost.cycles_per_packet(
+            limiter.stats.arrived_packets
+        ),
+        arrived_packets=limiter.stats.arrived_packets,
+        flow_records=tuple(scenario.flow_records),
+        bottleneck_drops=bottleneck.dropped_packets if bottleneck else 0,
+    )
+
+
+def simulate_aggregate(config: AggregateConfig) -> AggregateOutcome:
+    """Worker entry point: simulate one aggregate and measure it."""
+    sim = Simulator()
+    limiter, scenario = build_scenario(config, sim)
+    scenario.run()
+    return measure(config, limiter, scenario)

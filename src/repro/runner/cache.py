@@ -1,0 +1,146 @@
+"""On-disk result cache for the sweep runner.
+
+Cache entries are keyed by three components:
+
+* the task function's qualified name,
+* a canonical token of the config (dataclass ``repr``, which is
+  deterministic for the frozen config types used by the sweeps), and
+* a **code fingerprint**: a hash over the source files the simulation
+  depends on.  Scheme-aware fingerprints
+  (:func:`scheme_fingerprint`) hash the shared substrate (simulator, net,
+  TCP stacks, workloads, …) plus only the modules implementing that
+  scheme, so editing ``core/bcpqp.py`` invalidates cached BC-PQP cells
+  while the shaper/policer cells of the same figure stay warm — re-running
+  a figure after editing one scheme only re-simulates that scheme.
+
+Values are stored as one pickle file per key under the cache root; writes
+go through a temp file and ``os.replace`` so a crashed run never leaves a
+truncated entry behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from functools import lru_cache
+from pathlib import Path
+from typing import Any
+
+import repro
+
+_SRC_ROOT = Path(repro.__file__).resolve().parent
+
+#: Source the outcome of *every* simulation depends on.  Directories are
+#: hashed recursively.
+_SHARED_SOURCES: tuple[str, ...] = (
+    "sim",
+    "net",
+    "cc",
+    "policy",
+    "classify",
+    "sched",
+    "workload",
+    "metrics",
+    "units.py",
+    "scenario.py",
+    "wiring.py",
+    "schemes.py",
+    "limiters/base.py",
+    "limiters/costs.py",
+    "runner/aggregate.py",
+)
+
+#: Additional per-scheme sources (relative to the ``repro`` package root).
+_SCHEME_SOURCES: dict[str, tuple[str, ...]] = {
+    "shaper": ("limiters/shaper.py",),
+    "shaper-fifo": ("limiters/shaper.py",),
+    "policer": ("limiters/token_bucket.py",),
+    "policer+": ("limiters/token_bucket.py",),
+    "fairpolicer": ("limiters/fair_policer.py",),
+    "pqp": ("core/pqp.py", "core/phantom.py", "core/sizing.py"),
+    "bcpqp": (
+        "core/bcpqp.py",
+        "core/pqp.py",
+        "core/phantom.py",
+        "core/sizing.py",
+    ),
+}
+
+
+@lru_cache(maxsize=None)
+def _hash_sources(relative_paths: tuple[str, ...]) -> str:
+    digest = hashlib.sha256()
+    for rel in relative_paths:
+        path = _SRC_ROOT / rel
+        files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for file in files:
+            digest.update(str(file.relative_to(_SRC_ROOT)).encode())
+            try:
+                digest.update(file.read_bytes())
+            except OSError:
+                digest.update(b"<missing>")
+    return digest.hexdigest()
+
+
+def scheme_fingerprint(scheme: str) -> str:
+    """Code fingerprint for one enforcement scheme's simulation outcome."""
+    extra = _SCHEME_SOURCES.get(scheme)
+    if extra is None:
+        # Unknown scheme: be conservative and hash every limiter/core file.
+        extra = ("limiters", "core")
+    return _hash_sources(_SHARED_SOURCES + extra)
+
+
+def package_fingerprint() -> str:
+    """Fingerprint over the whole ``repro`` package (safe default)."""
+    return _hash_sources((".",))
+
+
+class ResultCache:
+    """A directory of pickled task results, keyed by config hash."""
+
+    _MISS = object()
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(task_name: str, config: Any, fingerprint: str) -> str:
+        """Stable cache key for ``task_name`` applied to ``config``."""
+        token = f"{task_name}\x00{config!r}\x00{fingerprint}"
+        return hashlib.sha256(token.encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
+
+    def load(self, key: str) -> tuple[bool, Any]:
+        """Return ``(hit, value)``; ``value`` is ``None`` on a miss."""
+        path = self._path(key)
+        try:
+            with path.open("rb") as fh:
+                value = pickle.load(fh)
+        except (OSError, pickle.PickleError, EOFError):
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def store(self, key: str, value: Any) -> None:
+        """Persist ``value`` under ``key`` (atomic rename)."""
+        path = self._path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with tmp.open("wb") as fh:
+            pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in self.root.glob("*.pkl"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed

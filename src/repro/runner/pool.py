@@ -1,0 +1,133 @@
+"""Process-pool sweep execution with a serial fallback.
+
+Every figure experiment is a grid of *independent* simulations: one
+(scheme, workload, rate, seed) cell never observes another cell's state,
+and each cell derives all randomness from an explicit seed in its config.
+That makes the sweep embarrassingly parallel *and* deterministic: the
+same config produces bit-identical results in-process, in a forked
+worker, or in a spawned worker, so ``jobs=4`` and the serial fallback
+print byte-identical figure tables.
+
+``run_tasks`` is deliberately generic — it maps a top-level (picklable)
+function over a list of picklable configs, preserving input order.  The
+aggregate-simulation entry point lives in
+:mod:`repro.runner.aggregate`; application-style figures (video, web,
+ECN) submit their own cell functions.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+from repro.runner.cache import ResultCache, package_fingerprint
+
+C = TypeVar("C")
+R = TypeVar("R")
+
+#: Env var consulted by :func:`default_jobs` (e.g. set by CI).
+JOBS_ENV = "REPRO_JOBS"
+
+
+def default_jobs() -> int:
+    """Worker count when the caller asks for "parallel, you pick"."""
+    env = os.environ.get(JOBS_ENV)
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    # fork shares the already-imported package with workers (cheap start);
+    # fall back to spawn elsewhere — cell functions are all importable
+    # top-level functions, so both start methods work.
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def _task_name(fn: Callable[..., Any]) -> str:
+    return f"{fn.__module__}:{fn.__qualname__}"
+
+
+def run_tasks(
+    fn: Callable[[C], R],
+    configs: Iterable[C],
+    *,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+    fingerprint: str | Callable[[C], str] | None = None,
+    chunksize: int = 1,
+) -> list[R]:
+    """Map ``fn`` over ``configs``, optionally in parallel and cached.
+
+    Parameters
+    ----------
+    fn:
+        A module-level function taking one picklable config and returning
+        a picklable result.
+    jobs:
+        ``None``/``0``/``1`` runs serially in-process (the bit-for-bit
+        fallback — no multiprocessing machinery is touched at all);
+        ``>1`` fans out over that many worker processes.
+    cache:
+        Optional :class:`~repro.runner.cache.ResultCache`.  Hits skip the
+        simulation entirely; misses are stored after computation.
+    fingerprint:
+        Code-fingerprint component of the cache key: a string, a callable
+        ``config -> str`` (e.g. scheme-aware), or ``None`` for the
+        whole-package fingerprint.  Ignored without ``cache``.
+
+    Results are returned in input order regardless of completion order.
+    """
+    config_list = list(configs)
+    results: list[Any] = [None] * len(config_list)
+    keys: dict[int, str] = {}
+    if cache is not None:
+        pending = []
+        name = _task_name(fn)
+        for i, config in enumerate(config_list):
+            if callable(fingerprint):
+                fp = fingerprint(config)
+            else:
+                fp = fingerprint or package_fingerprint()
+            key = cache.key(name, config, fp)
+            keys[i] = key
+            hit, value = cache.load(key)
+            if hit:
+                results[i] = value
+            else:
+                pending.append(i)
+    else:
+        pending = list(range(len(config_list)))
+
+    if pending:
+        todo = [config_list[i] for i in pending]
+        if jobs is not None and jobs > 1:
+            with _pool_context().Pool(processes=jobs) as pool:
+                computed = pool.map(fn, todo, chunksize=chunksize)
+        else:
+            computed = [fn(config) for config in todo]
+        for i, value in zip(pending, computed):
+            results[i] = value
+            if cache is not None:
+                cache.store(keys[i], value)
+    return results
+
+
+def run_sweep(
+    fn: Callable[[C], R],
+    configs: Sequence[C],
+    *,
+    jobs: int | None = None,
+    cache_dir: str | os.PathLike | None = None,
+    fingerprint: str | Callable[[C], str] | None = None,
+) -> list[R]:
+    """Convenience wrapper: build the cache from a directory path."""
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    return run_tasks(fn, configs, jobs=jobs, cache=cache, fingerprint=fingerprint)

@@ -19,6 +19,12 @@ class Simulator:
     makes runs bit-for-bit reproducible.  Time is a float in seconds and
     only moves forward.
 
+    The pending-event heap stores ``(time, seq, handle)`` tuples so heap
+    sift comparisons run on C-level float/int pairs instead of calling
+    :meth:`EventHandle.__lt__` — the single hottest comparison in a
+    saturated run.  ``seq`` is unique, so the handle itself is never
+    compared.
+
     Example
     -------
     >>> sim = Simulator()
@@ -32,7 +38,7 @@ class Simulator:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
-        self._heap: list[EventHandle] = []
+        self._heap: list[tuple[float, int, EventHandle]] = []
         self._seq = 0
         self._events_processed = 0
         self._running = False
@@ -58,7 +64,12 @@ class Simulator:
         """Schedule ``callback(*args)`` to fire ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
-        return self.schedule_at(self._now + delay, callback, *args)
+        time = self._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(time, seq, callback, args)
+        heapq.heappush(self._heap, (time, seq, handle))
+        return handle
 
     def schedule_at(
         self, time: float, callback: Callable[..., None], *args: Any
@@ -68,9 +79,10 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time!r}, now is t={self._now!r}"
             )
-        handle = EventHandle(time, self._seq, callback, args)
-        self._seq += 1
-        heapq.heappush(self._heap, handle)
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(time, seq, callback, args)
+        heapq.heappush(self._heap, (time, seq, handle))
         return handle
 
     def cancel(self, handle: EventHandle | None) -> None:
@@ -80,50 +92,70 @@ class Simulator:
 
     def peek_time(self) -> float | None:
         """Time of the next live event, or ``None`` if the heap is drained."""
-        self._drop_cancelled()
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0][0]
 
     def step(self) -> bool:
         """Fire the next live event.  Returns ``False`` when none remain."""
-        self._drop_cancelled()
-        if not self._heap:
-            return False
-        event = heapq.heappop(self._heap)
-        self._now = event.time
-        self._events_processed += 1
-        event.callback(*event.args)
-        return True
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            time, _seq, event = pop(heap)
+            if event.cancelled:
+                continue
+            self._now = time
+            self._events_processed += 1
+            event.callback(*event.args)
+            return True
+        return False
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
         """Run events until the heap drains, ``until`` is reached, or
         ``max_events`` have fired in this call.
 
-        When stopped by ``until``, the clock is advanced to exactly ``until``
-        so that follow-up measurements read a consistent end time.
+        Stop semantics (pinned by ``tests/test_sim.py``):
+
+        * Stopped by ``until`` or by draining the heap: the clock is
+          advanced to exactly ``until`` (when given) so that follow-up
+          measurements read a consistent end time.
+        * Stopped by ``max_events``: the clock is **left at the time of the
+          last fired event** and is *not* advanced to ``until``.  The run
+          is interrupted mid-schedule, so a caller single-stepping with
+          ``max_events`` can resume exactly where it left off; advancing
+          the clock would forbid rescheduling the very events that are
+          still pending.  The ``max_events`` budget is checked before the
+          heap, so ``max_events=0`` fires nothing and never touches the
+          clock, even with ``until`` set.
         """
         if self._running:
             raise SimulationError("run() re-entered from within an event")
         self._running = True
+        # Local-variable hot loop: one pass per event, no peek_time/step
+        # double scan of the heap head and no per-event method dispatch.
+        heap = self._heap
+        pop = heapq.heappop
         fired = 0
         try:
             while True:
                 if max_events is not None and fired >= max_events:
                     return
-                next_time = self.peek_time()
-                if next_time is None:
+                while heap and heap[0][2].cancelled:
+                    pop(heap)
+                if not heap:
                     break
+                next_time = heap[0][0]
                 if until is not None and next_time > until:
                     break
-                self.step()
+                _time, _seq, event = pop(heap)
+                self._now = next_time
+                self._events_processed += 1
+                event.callback(*event.args)
                 fired += 1
             if until is not None and until > self._now:
                 self._now = until
         finally:
             self._running = False
-
-    def _drop_cancelled(self) -> None:
-        heap = self._heap
-        while heap and heap[0].cancelled:
-            heapq.heappop(heap)

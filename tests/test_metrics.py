@@ -1,5 +1,7 @@
 """Tests for metrics: fairness, stats, series, throughput extraction."""
 
+import math
+
 import pytest
 from hypothesis import given, strategies as st
 
@@ -14,7 +16,8 @@ from repro.metrics.throughput import (
     per_slot_throughput_series,
 )
 from repro.net.packet import FlowId
-from repro.net.trace import PacketRecord
+from repro.net.trace import PacketRecord, Trace
+from repro.sim.simulator import Simulator
 
 
 class TestJain:
@@ -195,3 +198,55 @@ class TestThroughputExtraction:
             aggregate_throughput_series([], window=1.0, start=2.0, end=1.0)
         with pytest.raises(ValueError):
             aggregate_throughput_series([], window=0.0, start=0.0, end=1.0)
+
+
+class TestBinBoundaryClamp:
+    """Regression: a timestamp one ULP below the binning limit can still
+    divide to index ``nbins`` after FP rounding (e.g. window 0.1 over
+    [0, 0.9): nextafter(0.9, 0) * (1/0.1) == 9.0).  The binners must
+    clamp it into the last bin instead of raising IndexError."""
+
+    WINDOW = 0.1
+    END = 0.9
+    T = math.nextafter(0.9, 0.0)
+
+    def test_timestamp_is_adversarial(self):
+        # The premise of the regression: in range, but dividing to nbins.
+        assert self.T < self.END
+        assert int(self.T * (1.0 / self.WINDOW)) == 9
+
+    def test_generic_fallback_clamps_into_last_bin(self):
+        series = aggregate_throughput_series(
+            [rec(self.T)], window=self.WINDOW, start=0.0, end=self.END)
+        assert len(series.values) == 9
+        assert series.values[-1] == pytest.approx(1500 / self.WINDOW)
+        assert sum(series.values[:-1]) == 0.0
+
+    def test_column_fast_path_clamps_into_last_bin(self):
+        trace = Trace(Simulator())
+        trace.times.append(self.T)
+        trace.flow_ids.append(FlowId(0, 0))
+        trace.sizes.append(1500)
+        trace.data_flags.append(True)
+        trace.seqs.append(0)
+        agg = aggregate_throughput_series(
+            trace, window=self.WINDOW, start=0.0, end=self.END)
+        assert agg.values[-1] == pytest.approx(1500 / self.WINDOW)
+        by_flow = per_flow_throughput_series(
+            trace, window=self.WINDOW, start=0.0, end=self.END)
+        assert by_flow[FlowId(0, 0)].values[-1] == pytest.approx(
+            1500 / self.WINDOW)
+        by_slot = per_slot_throughput_series(
+            trace, window=self.WINDOW, start=0.0, end=self.END)
+        assert by_slot[0].values[-1] == pytest.approx(1500 / self.WINDOW)
+
+    @given(st.floats(min_value=0.0, max_value=10.0),
+           st.floats(min_value=1e-3, max_value=2.0))
+    def test_in_range_timestamps_never_raise(self, t, window):
+        end = 10.0 + window  # at least one full bin
+        series = aggregate_throughput_series(
+            [rec(t)], window=window, start=0.0, end=end)
+        total = sum(v * window for v in series.values)
+        # The record lands in exactly one bin or (at the FP boundary of
+        # the measurement interval) is dropped — never an IndexError.
+        assert total == 0.0 or total == pytest.approx(1500)

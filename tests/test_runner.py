@@ -1,0 +1,200 @@
+"""Tests for the sweep runner: pool fan-out, determinism, result cache."""
+
+import pytest
+
+from repro.experiments import fig4_rate_enforcement
+from repro.runner import (
+    AggregateConfig,
+    ResultCache,
+    package_fingerprint,
+    run_tasks,
+    scheme_fingerprint,
+    simulate_aggregate,
+)
+from repro.units import mbps, ms
+from repro.workload.aggregates import Section61Config
+from repro.workload.spec import FlowSpec
+
+
+def _tiny_config(scheme="bcpqp", seed=1, rate=mbps(5)):
+    return AggregateConfig(
+        scheme=scheme,
+        specs=(FlowSpec(slot=0, cc="reno", rtt=ms(20)),
+               FlowSpec(slot=1, cc="cubic", rtt=ms(30))),
+        rate=rate,
+        max_rtt=ms(30),
+        horizon=2.0,
+        warmup=0.5,
+        seed=seed,
+    )
+
+
+def _tiny_fig4_grid():
+    """A 2-scheme x 2-aggregate corner of the Figure 4 sweep."""
+    config = fig4_rate_enforcement.Config(
+        workload=Section61Config(
+            num_aggregates=2,
+            rates=(mbps(5),),
+            flows_per_aggregate=2,
+            horizon=2.0,
+            seed=7,
+        ),
+        warmup=0.5,
+        schemes=("policer", "bcpqp"),
+    )
+    return fig4_rate_enforcement.grid(config)
+
+
+def _square(x):
+    return x * x
+
+
+def _outcome_key(outcome):
+    """Every numeric field that the figure tables are derived from."""
+    return (
+        outcome.scheme,
+        outcome.drop_rate,
+        outcome.cycles_per_packet,
+        outcome.arrived_packets,
+        outcome.bottleneck_drops,
+        tuple(outcome.aggregate_series.times),
+        tuple(outcome.aggregate_series.values),
+        tuple(
+            (slot, tuple(s.times), tuple(s.values))
+            for slot, s in sorted(outcome.slot_series.items())
+        ),
+        outcome.flow_records,
+    )
+
+
+class TestRunTasks:
+    def test_preserves_input_order(self):
+        assert run_tasks(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_parallel_matches_serial_trivially(self):
+        xs = list(range(20))
+        assert run_tasks(_square, xs, jobs=2) == run_tasks(_square, xs)
+
+    def test_serial_jobs_values_do_not_touch_multiprocessing(self):
+        for jobs in (None, 0, 1):
+            assert run_tasks(_square, [5], jobs=jobs) == [25]
+
+
+class TestDeterminism:
+    def test_same_config_bit_identical_across_runs(self):
+        a = simulate_aggregate(_tiny_config())
+        b = simulate_aggregate(_tiny_config())
+        assert _outcome_key(a) == _outcome_key(b)
+
+    def test_parallel_and_serial_fig4_grids_identical(self):
+        # Satellite of the runner PR: `--jobs N` and the serial fallback
+        # must produce identical AggregateOutcome numbers for the same
+        # grid, so figure tables are byte-for-byte reproducible.
+        grid = _tiny_fig4_grid()
+        serial = run_tasks(simulate_aggregate, grid)
+        parallel = run_tasks(simulate_aggregate, grid, jobs=2)
+        assert len(serial) == len(parallel) == 4
+        for s, p in zip(serial, parallel):
+            assert _outcome_key(s) == _outcome_key(p)
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        config = _tiny_config()
+        first = run_tasks(simulate_aggregate, [config], cache=cache)
+        assert (cache.hits, cache.misses) == (0, 1)
+        second = run_tasks(simulate_aggregate, [config], cache=cache)
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert _outcome_key(first[0]) == _outcome_key(second[0])
+
+    def test_stored_under_the_documented_key(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_tasks(
+            simulate_aggregate,
+            [_tiny_config()],
+            cache=cache,
+            fingerprint=AggregateConfig.code_fingerprint,
+        )
+        key = cache.key(
+            "repro.runner.aggregate:simulate_aggregate",
+            _tiny_config(),
+            _tiny_config().code_fingerprint(),
+        )
+        hit, _ = cache.load(key)
+        assert hit
+
+    def test_different_configs_get_different_keys(self):
+        fp = package_fingerprint()
+        k1 = ResultCache.key("t", _tiny_config(seed=1), fp)
+        k2 = ResultCache.key("t", _tiny_config(seed=2), fp)
+        k3 = ResultCache.key("t", _tiny_config(rate=mbps(6)), fp)
+        assert len({k1, k2, k3}) == 3
+
+    def test_key_is_stable_for_equal_configs(self):
+        fp = scheme_fingerprint("bcpqp")
+        assert ResultCache.key("t", _tiny_config(), fp) == \
+            ResultCache.key("t", _tiny_config(), fp)
+
+    def test_scheme_fingerprints_isolate_schemes(self):
+        # Editing BC-PQP code must not invalidate policer cells: their
+        # fingerprints are computed over different source sets.
+        assert scheme_fingerprint("bcpqp") != scheme_fingerprint("policer")
+        assert scheme_fingerprint("bcpqp") == scheme_fingerprint("bcpqp")
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store("abc", {"x": 1})
+        assert cache.clear() == 1
+        hit, _ = cache.load("abc")
+        assert not hit
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store("abc", [1, 2, 3])
+        (tmp_path / "abc.pkl").write_bytes(b"not a pickle")
+        hit, value = cache.load("abc")
+        assert not hit and value is None
+
+
+class TestConfigRepr:
+    def test_repr_has_no_memory_addresses(self):
+        # The cache key hashes repr(config); an object default-repr like
+        # <Policy at 0x7f...> would silently break cross-run caching.
+        from repro.policy.tree import Policy
+
+        config = AggregateConfig(
+            scheme="bcpqp",
+            specs=(FlowSpec(slot=0, cc="reno", rtt=ms(20)),),
+            rate=mbps(5),
+            max_rtt=ms(20),
+            horizon=1.0,
+            warmup=0.0,
+            policy=Policy.fair(2),
+        )
+        assert "0x" not in repr(config)
+
+    def test_list_inputs_coerce_to_tuples(self):
+        config = AggregateConfig(
+            scheme="pqp",
+            specs=[FlowSpec(slot=0, cc="reno", rtt=ms(20))],
+            rate=mbps(5),
+            max_rtt=ms(20),
+            horizon=1.0,
+            warmup=0.0,
+            weights=[1.0, 2.0],
+        )
+        assert isinstance(config.specs, tuple)
+        assert isinstance(config.weights, tuple)
+        assert repr(config) == repr(config)
+
+
+class TestPicklability:
+    def test_config_and_outcome_round_trip(self):
+        import pickle
+
+        config = _tiny_config()
+        assert pickle.loads(pickle.dumps(config)) == config
+        outcome = simulate_aggregate(config)
+        clone = pickle.loads(pickle.dumps(outcome))
+        assert _outcome_key(clone) == _outcome_key(outcome)

@@ -89,6 +89,37 @@ class TestRunControl:
         sim.run(max_events=2)
         assert fired == [0, 1]
 
+    def test_max_events_stop_does_not_advance_clock_to_until(self):
+        # Pinned semantics: a run stopped by its max_events budget leaves
+        # the clock at the last fired event even when `until` was given,
+        # so the caller can resume exactly where it left off.
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(float(i + 1), fired.append, i)
+        sim.run(until=10.0, max_events=2)
+        assert fired == [0, 1]
+        assert sim.now == 2.0
+        sim.run(until=10.0)
+        assert fired == [0, 1, 2, 3, 4]
+        assert sim.now == 10.0
+
+    def test_max_events_zero_never_touches_clock(self):
+        # The budget is checked before the heap: nothing fires and the
+        # clock does not move, even with `until` set.
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "x")
+        sim.run(until=5.0, max_events=0)
+        assert fired == []
+        assert sim.now == 0.0
+
+    def test_until_stop_advances_clock_exactly_to_until(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run(until=2.5)
+        assert sim.now == 2.5
+
     def test_step_returns_false_when_empty(self):
         sim = Simulator()
         assert sim.step() is False
