@@ -10,6 +10,14 @@ three sections:
 * ``simulator`` — event-loop throughput (events/sec) on the three
   ``bench_sim_core`` workloads.
 
+A second file, ``BENCH_scaling.json``, records the ``scaling`` section:
+wall seconds/packet and modeled cycles/packet for PQP and BC-PQP at
+N ∈ {1, 10, 100, 1000} aggregates — the Figure 5 flatness claim applied
+to our own hot path.  ``--check`` runs only that section and exits
+non-zero if seconds/packet at N=1000 exceeds ``--check-multiple``
+(default 3.0) times the N=10 value: the regression guard for the
+virtual-time drain staying O(log N).
+
 The JSON is the stable interface for tracking this repository's
 performance over time; the pytest-benchmark suite asserts the qualitative
 shapes, this report records the raw numbers.
@@ -41,6 +49,10 @@ from repro.units import mbps, ms  # noqa: E402
 
 HOT_PATH_SCHEMES = ("policer", "fairpolicer", "pqp", "bcpqp", "shaper")
 BATCH = 1000
+
+#: The scaling sweep: phantom schemes across aggregate counts.
+SCALING_SCHEMES = ("pqp", "bcpqp")
+SCALING_NS = (1, 10, 100, 1000)
 
 
 def modeled_cycles() -> dict[str, float]:
@@ -84,6 +96,68 @@ def hot_path_seconds_per_packet(rounds: int) -> dict[str, float]:
             samples.append((time.perf_counter() - start) / BATCH)
         out[scheme] = statistics.median(samples)
     return out
+
+
+def _scaling_cell(scheme: str, n: int, rounds: int) -> dict[str, float]:
+    """Seconds/packet and modeled cycles/packet at ``n`` aggregates."""
+    sim = Simulator()
+    limiter = make_limiter(sim, scheme, rate=mbps(50), num_queues=n,
+                           max_rtt=ms(50))
+    limiter.connect(NullSink())
+    flows = [FlowId(0, i) for i in range(n)]
+    counter = itertools.count()
+
+    def process_batch() -> None:
+        base = next(counter) * BATCH
+        for i in range(BATCH):
+            sim._now = (base + i) * 2e-5  # 50k pkt/s arrival clock
+            limiter.receive(Packet.data(flows[(base + i) % n], base + i,
+                                        sim.now))
+
+    process_batch()  # warm up: queues activate, share caches populate
+    samples = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        process_batch()
+        samples.append((time.perf_counter() - start) / BATCH)
+    return {
+        "seconds_per_packet": statistics.median(samples),
+        "modeled_cycles_per_packet": round(
+            limiter.cost.cycles_per_packet(limiter.stats.arrived_packets), 2
+        ),
+    }
+
+
+def scaling_section(rounds: int, ns: tuple[int, ...] = SCALING_NS) -> dict:
+    """The drain-scalability sweep: PQP/BC-PQP across aggregate counts."""
+    schemes = {
+        scheme: {str(n): _scaling_cell(scheme, n, rounds) for n in ns}
+        for scheme in SCALING_SCHEMES
+    }
+    return {
+        "unit": "seconds/packet, modeled cycles/packet",
+        "batch_packets": BATCH,
+        "aggregates": list(ns),
+        "schemes": schemes,
+    }
+
+
+def check_scaling(scaling: dict, multiple: float) -> list[str]:
+    """Regression check: N=1000 seconds/packet vs ``multiple`` x N=10."""
+    failures = []
+    for scheme, per_n in scaling["schemes"].items():
+        base = per_n.get("10")
+        big = per_n.get("1000")
+        if base is None or big is None:
+            continue
+        base_s = base["seconds_per_packet"]
+        big_s = big["seconds_per_packet"]
+        if big_s > multiple * base_s:
+            failures.append(
+                f"{scheme}: {big_s:.3e} s/pkt at N=1000 exceeds "
+                f"{multiple}x the N=10 value ({base_s:.3e})"
+            )
+    return failures
 
 
 def simulator_events_per_second(rounds: int) -> dict[str, float]:
@@ -141,9 +215,38 @@ def main(argv: list[str] | None = None) -> None:
         help="a previous report to embed under 'baseline', with "
         "events/sec speedup ratios computed against it",
     )
+    parser.add_argument(
+        "--scaling-output",
+        default=str(Path(__file__).parent / "BENCH_scaling.json"),
+        help="where to write the scaling-section JSON",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="run only the scaling sweep and fail if seconds/packet at "
+        "N=1000 exceeds --check-multiple times the N=10 value",
+    )
+    parser.add_argument(
+        "--check-multiple", type=float, default=3.0,
+        help="allowed N=1000 / N=10 seconds-per-packet ratio (default 3.0)",
+    )
     args = parser.parse_args(argv)
     if args.rounds < 1:
         parser.error("--rounds must be at least 1")
+    if args.check_multiple <= 0:
+        parser.error("--check-multiple must be positive")
+
+    if args.check:
+        scaling = scaling_section(args.rounds)
+        _write_scaling(args.scaling_output, args.rounds, scaling)
+        _print_scaling(scaling)
+        failures = check_scaling(scaling, args.check_multiple)
+        if failures:
+            for failure in failures:
+                print(f"FAIL {failure}")
+            raise SystemExit(1)
+        print(f"scaling check passed (multiple={args.check_multiple})")
+        return
+
     report = build_report(args.rounds)
     if args.baseline:
         baseline = json.loads(Path(args.baseline).read_text())
@@ -162,6 +265,32 @@ def main(argv: list[str] | None = None) -> None:
         print(f"  hot path   {scheme:12s} {secs * 1e6:8.2f} us/pkt")
     for name, eps in report["simulator"]["workloads"].items():
         print(f"  sim        {name:12s} {eps:8.0f} events/s")
+    scaling = scaling_section(args.rounds)
+    _write_scaling(args.scaling_output, args.rounds, scaling)
+    _print_scaling(scaling)
+
+
+def _write_scaling(path: str, rounds: int, scaling: dict) -> None:
+    document = {
+        "schema": "repro-bench-scaling/1",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "rounds": rounds,
+        "scaling": scaling,
+    }
+    Path(path).write_text(json.dumps(document, indent=2) + "\n")
+    print(f"wrote {path}")
+
+
+def _print_scaling(scaling: dict) -> None:
+    for scheme, per_n in scaling["schemes"].items():
+        for n, cell in per_n.items():
+            print(
+                f"  scaling    {scheme:6s} N={n:>4s} "
+                f"{cell['seconds_per_packet'] * 1e6:8.2f} us/pkt  "
+                f"{cell['modeled_cycles_per_packet']:8.1f} cycles/pkt"
+            )
 
 
 if __name__ == "__main__":

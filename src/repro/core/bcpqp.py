@@ -97,8 +97,7 @@ class BCPQP(PQP):
 
     def expected_window_bytes(self, queue: int) -> float:
         """``X_i = r*_i x T`` under the current active set."""
-        rates = self.queues.fluid_rates()
-        return rates[queue] * self.period
+        return self.queues.fluid_rate_of(queue) * self.period
 
     def accepted_window_bytes(self, queue: int) -> float:
         """Bytes accepted by ``queue`` in the current window."""
@@ -122,7 +121,7 @@ class BCPQP(PQP):
         elapsed = now - self._window_start[queue]
         if elapsed < self.period:
             return
-        rate_i = self.queues.fluid_rates()[queue]
+        rate_i = self.queues.fluid_rate_of(queue)
         floor = self.theta_minus * rate_i * elapsed
         if (
             self._arrived_window[queue] < floor

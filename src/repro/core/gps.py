@@ -1,0 +1,393 @@
+"""Virtual-time GPS service process for phantom queues.
+
+The reference fluid drain (``service="fluid-ref"``) advances the phantom
+counters piecewise: recompute every queue's share, scan every queue for
+the piece boundary, subtract every queue's drain — O(N) Python work per
+arrival even when the occupied set never changes.  This module is the
+O(log N) replacement (``service="fluid"``): the classic WFQ/GPS
+*virtual time* construction, applied per policy-tree node.
+
+Core idea
+---------
+Within one *linear piece* (a maximal interval with a fixed occupied set)
+every scheduling quantity is constant.  For each internal tree node and
+each priority class ``p`` of its children we keep a **virtual time**
+``V`` that advances at ``(rate assigned to the node) / (active weight in
+class p)`` while class ``p`` is the node's winning (lowest active
+priority) class, and freezes otherwise.  A child of weight ``w`` then
+drains exactly ``w x (V(t1) - V(t0))`` bytes over any interval — no
+matter how often *sibling* activations rescale the shares, because those
+rescales change only ``dV/dt``, never the per-unit-V share ``w``.
+
+Each queue therefore stores just ``(bytes_at_touch, V_at_touch)`` and its
+current length is computed lazily; its future empty time is the fixed
+virtual instant ``V_at_touch + bytes/w``, which goes into a per-class
+min-heap.  Advancing the drain pops due events (queue empties) in O(log N)
+each and otherwise does O(1) work per arrival; nothing ever scans all N
+queues.
+
+Structure changes (a queue filling from empty, emptying, or being
+reclaimed to empty) settle the affected root-to-leaf path and re-derive
+the per-class ``dV/dt`` slopes — O(tree internal nodes + log N), and the
+number of such changes is bounded by the number of enqueues, so the whole
+drain is amortized O(log N) per packet.
+
+The engine deliberately models *only* the service process.  Magic-byte
+watermarks, capacities and cost accounting stay in
+:class:`repro.core.phantom.PhantomQueueSet`, which consults the engine
+for lengths and activity.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.policy.tree import Leaf, Node, Policy
+
+#: Counters below this many bytes are treated as empty (float hygiene);
+#: mirrors :data:`repro.core.phantom._EPSILON`.
+_EPSILON = 1e-6
+
+
+class _Group:
+    """One (internal node, priority class) GPS server: the children of a
+    node that share service at one priority level."""
+
+    __slots__ = (
+        "node", "priority", "v", "slope", "weight", "active_count",
+        "heap", "active_internal",
+    )
+
+    def __init__(self, node: "_Node", priority: int) -> None:
+        self.node = node
+        self.priority = priority
+        #: Virtual time: cumulative service per unit weight delivered to
+        #: this class.  Monotone, advances only while the class is served.
+        self.v = 0.0
+        #: Current dV/dt (real-time); 0 while frozen.
+        self.slope = 0.0
+        #: Total weight of currently active members.
+        self.weight = 0.0
+        self.active_count = 0
+        #: Min-heap of (v_finish, seq, epoch, leaf) predicted leaf-empty
+        #: events; ``seq`` breaks ties (leaves are not orderable) and the
+        #: push-time ``epoch`` lazily invalidates stale entries.
+        self.heap: list[tuple[float, int, int, "_Node"]] = []
+        #: Active internal (non-leaf) members, for slope propagation.
+        self.active_internal: list["_Node"] = []
+
+
+class _Node:
+    """Compiled policy-tree node with virtual-time drain state."""
+
+    __slots__ = (
+        "parent", "weight", "priority", "queue", "children", "groups",
+        "winning", "active", "active_count", "group",
+        "bytes_touch", "v_touch", "epoch",
+    )
+
+    def __init__(self, spec: Node, parent: "_Node | None") -> None:
+        self.parent = parent
+        self.weight = spec.weight
+        self.priority = spec.priority
+        self.active = False
+        #: The parent-side group this node drains against (set by parent).
+        self.group: _Group | None = None
+        if isinstance(spec, Leaf):
+            self.queue: int | None = spec.queue
+            self.children: list[_Node] = []
+            self.groups: dict[int, _Group] = {}
+            self.active_count = 0
+            self.winning: _Group | None = None
+            # Lazy drain state (leaves only).
+            self.bytes_touch = 0.0
+            self.v_touch = 0.0
+            self.epoch = 0
+        else:
+            self.queue = None
+            self.children = [_Node(c, self) for c in spec.children]
+            self.groups = {}
+            for child in self.children:
+                group = self.groups.get(child.priority)
+                if group is None:
+                    group = self.groups[child.priority] = _Group(
+                        self, child.priority
+                    )
+                child.group = group
+            self.active_count = 0
+            self.winning = None
+            self.bytes_touch = 0.0
+            self.v_touch = 0.0
+            self.epoch = 0
+
+
+class VirtualTimeGps:
+    """Virtual-time GPS drain over ``policy`` at cumulative ``rate``.
+
+    The caller drives it with :meth:`advance` (bring the service process
+    up to ``now``), :meth:`add` / :meth:`remove` (enqueue/reclaim bytes at
+    the current clock) and reads :meth:`length` / :meth:`total` /
+    :attr:`drained_bytes` / :attr:`active_mask`.
+
+    ``events`` counts processed queue-empty piece boundaries and
+    ``pieces(now)`` reports how many linear pieces an advance spanned —
+    the quantity the cost model's ``drain_recomputes`` is pinned to.
+    """
+
+    def __init__(self, policy: Policy, rate: float, *, start_time: float) -> None:
+        self._policy = policy
+        self._rate = rate
+        self._root = _Node(policy.root, None)
+        n = policy.num_queues
+        self._leaves: list[_Node] = [None] * n  # type: ignore[list-item]
+        self._index_leaves(self._root)
+        #: Static list of internal nodes (event-source groups live here).
+        self._internal: list[_Node] = []
+        self._collect_internal(self._root)
+        self._clock = start_time
+        #: Bitmask of occupied queues (bit i set when queue i is active).
+        self.active_mask = 0
+        #: Total bytes across all queues at the current clock.
+        self._total = 0.0
+        #: Cumulative bytes drained by the service process.
+        self.drained_bytes = 0.0
+        #: Monotone tiebreaker for heap entries.
+        self._seq = 0
+
+    def _index_leaves(self, node: _Node) -> None:
+        if node.queue is not None:
+            self._leaves[node.queue] = node
+        for child in node.children:
+            self._index_leaves(child)
+
+    def _collect_internal(self, node: _Node) -> None:
+        if node.children:
+            self._internal.append(node)
+            for child in node.children:
+                self._collect_internal(child)
+
+    # ------------------------------------------------------------------
+    # Reads (exact at the current clock)
+    # ------------------------------------------------------------------
+
+    @property
+    def clock(self) -> float:
+        return self._clock
+
+    def length(self, queue: int) -> float:
+        """Current bytes in ``queue``; settles its lazy drain state."""
+        leaf = self._leaves[queue]
+        if not leaf.active:
+            # Inactive leaves hold at most epsilon-sized crumbs (below the
+            # occupancy threshold); they do not drain.
+            return leaf.bytes_touch
+        group = leaf.group
+        assert group is not None
+        drained = leaf.weight * (group.v - leaf.v_touch)
+        if drained > 0.0:
+            remaining = leaf.bytes_touch - drained
+            if remaining < 0.0:
+                remaining = 0.0
+            leaf.bytes_touch = remaining
+            leaf.v_touch = group.v
+        return leaf.bytes_touch
+
+    def total(self) -> float:
+        """Total bytes across all queues, O(1)."""
+        return self._total
+
+    # ------------------------------------------------------------------
+    # Service process
+    # ------------------------------------------------------------------
+
+    def advance(self, now: float) -> int:
+        """Drain up to ``now``; returns the number of linear pieces spanned
+        (queue-empty boundaries crossed, plus the final partial piece while
+        anything was occupied) — the reference loop's recompute count."""
+        pieces = 0
+        while True:
+            event = self._next_event(now)
+            if event is None:
+                break
+            t_event, leaf = event
+            self._sync(t_event)
+            self._settle_empty(leaf)
+            self._deactivate(leaf)
+            self._recompute_slopes()
+            pieces += 1
+        if self._clock < now:
+            if self.active_mask:
+                pieces += 1
+            self._sync(now)
+        return pieces
+
+    def _next_event(self, horizon: float) -> tuple[float, _Node] | None:
+        """Earliest valid queue-empty event at or before ``horizon``."""
+        best: tuple[float, _Node] | None = None
+        for node in self._internal:
+            group = node.winning
+            if group is None or group.slope <= 0.0:
+                continue
+            heap = group.heap
+            while heap:
+                v_finish, _seq, epoch, leaf = heap[0]
+                if not leaf.active or leaf.epoch != epoch:
+                    heapq.heappop(heap)
+                    continue
+                t_finish = self._clock + (v_finish - group.v) / group.slope
+                if t_finish <= horizon and (best is None or t_finish < best[0]):
+                    best = (t_finish, leaf)
+                break
+        return best
+
+    def _sync(self, t: float) -> None:
+        """Advance every served group's virtual time (and the running
+        total/drained counters) to real time ``t``."""
+        dt = t - self._clock
+        if dt > 0.0:
+            if self.active_mask:
+                for node in self._internal:
+                    group = node.winning
+                    if group is not None and group.slope > 0.0:
+                        group.v += group.slope * dt
+                drained = self._rate * dt
+                if drained > self._total:
+                    drained = self._total
+                self._total -= drained
+                self.drained_bytes += drained
+            self._clock = t
+        elif dt == 0.0:
+            self._clock = t
+
+    def _settle_empty(self, leaf: _Node) -> None:
+        """Pin an emptying leaf at exactly zero (no float crumbs)."""
+        group = leaf.group
+        assert group is not None
+        leaf.bytes_touch = 0.0
+        leaf.v_touch = group.v
+
+    # ------------------------------------------------------------------
+    # Structure changes
+    # ------------------------------------------------------------------
+
+    def add(self, queue: int, size: float) -> None:
+        """Enqueue ``size`` bytes into ``queue`` at the current clock."""
+        leaf = self._leaves[queue]
+        current = self.length(queue)
+        leaf.bytes_touch = current + size
+        self._total += size
+        if leaf.active:
+            self._repost(leaf)
+        elif leaf.bytes_touch > _EPSILON:
+            self._activate(leaf)
+            self._recompute_slopes()
+
+    def remove(self, queue: int, size: float) -> None:
+        """Take ``size`` bytes out of ``queue`` (magic reclaim) at the
+        current clock; deactivates the queue if it empties."""
+        leaf = self._leaves[queue]
+        current = self.length(queue)
+        remaining = current - size
+        if remaining < _EPSILON:
+            remaining = 0.0
+        self._total -= current - remaining
+        if self._total < 0.0:
+            self._total = 0.0
+        leaf.bytes_touch = remaining
+        if remaining == 0.0 and leaf.active:
+            self._deactivate(leaf)
+            self._recompute_slopes()
+        elif leaf.active:
+            self._repost(leaf)
+
+    def _repost(self, leaf: _Node) -> None:
+        """Refresh a live leaf's predicted empty event after its length
+        changed (its old heap entry is lazily discarded by the epoch)."""
+        group = leaf.group
+        assert group is not None
+        leaf.v_touch = group.v
+        leaf.epoch += 1
+        self._seq += 1
+        v_finish = group.v + leaf.bytes_touch / leaf.weight
+        heapq.heappush(group.heap, (v_finish, self._seq, leaf.epoch, leaf))
+
+    def _activate(self, leaf: _Node) -> None:
+        self.active_mask |= 1 << leaf.queue  # type: ignore[operator]
+        leaf.active = True
+        self._repost(leaf)
+        node: _Node = leaf
+        while True:
+            group = node.group
+            parent = node.parent
+            if parent is None:
+                break
+            group.weight += node.weight
+            group.active_count += 1
+            if node.children:
+                group.active_internal.append(node)
+            parent.active_count += 1
+            if parent.winning is None or group.priority < parent.winning.priority:
+                parent.winning = group
+            if parent.active:
+                break
+            parent.active = True
+            node = parent
+
+    def _deactivate(self, leaf: _Node) -> None:
+        self.active_mask &= ~(1 << leaf.queue)  # type: ignore[operator]
+        leaf.active = False
+        leaf.epoch += 1
+        if self.active_mask == 0:
+            # Everything is empty: kill accumulated float crumbs so the
+            # next busy period starts from an exact zero.
+            self._total = 0.0
+        node: _Node = leaf
+        while True:
+            group = node.group
+            parent = node.parent
+            if parent is None:
+                break
+            group.weight -= node.weight
+            group.active_count -= 1
+            if node.children:
+                group.active_internal.remove(node)
+            if group.active_count == 0:
+                group.weight = 0.0
+            parent.active_count -= 1
+            if group.active_count == 0 and parent.winning is group:
+                parent.winning = self._best_group(parent)
+            if parent.active_count > 0:
+                break
+            parent.active = False
+            node = parent
+
+    @staticmethod
+    def _best_group(node: _Node) -> _Group | None:
+        best: _Group | None = None
+        for group in node.groups.values():
+            if group.active_count > 0 and (
+                best is None or group.priority < best.priority
+            ):
+                best = group
+        return best
+
+    def _recompute_slopes(self) -> None:
+        """Re-derive every class's dV/dt after a structure change.
+
+        O(internal nodes): walks only the served spine(s) of the tree;
+        leaf counts never enter.
+        """
+        for node in self._internal:
+            for group in node.groups.values():
+                group.slope = 0.0
+        if self.active_mask == 0:
+            return
+        stack: list[tuple[_Node, float]] = [(self._root, self._rate)]
+        while stack:
+            node, rate = stack.pop()
+            group = node.winning
+            if group is None or group.weight <= 0.0:
+                continue
+            group.slope = rate / group.weight
+            for child in group.active_internal:
+                stack.append((child, child.weight * group.slope))

@@ -5,24 +5,38 @@ incremented on (accepted) packet arrival and drained at the policy-assigned
 service rate.  Draining is *lazy*: counters are brought up to date when the
 next packet arrives (§3.1: "phantom dequeues can be batched").
 
-Two service disciplines are provided:
+Three service disciplines are provided:
 
-* ``fluid`` (default) — a piecewise-linear GPS process: within each linear
-  piece the set of occupied queues is constant, so the policy tree's
-  instantaneous shares apply; a piece ends when some queue empties, at
-  which point shares are recomputed (work conservation).
+* ``fluid`` (default) — the piecewise-linear GPS process, realized by the
+  virtual-time engine (:mod:`repro.core.gps`): per-queue drains are
+  evaluated lazily as ``weight x (V(now) - V(touch))`` and piece
+  boundaries come off a min-heap of predicted queue-empty times, so each
+  arrival costs amortized O(log N) instead of a full O(N) rescan.
+* ``fluid-ref`` — the direct piecewise loop (recompute all shares, scan
+  all queues per piece).  Byte-equivalent to ``fluid`` up to float
+  rounding; kept as the executable specification the property tests
+  compare the optimized engine against.
 * ``quantum`` — the paper's literal mechanism: batched dequeues of
-  MSS-sized phantom packets picked by the hierarchical deficit-round-robin
+  MSS-sized phantom packets picked by a hierarchical deficit-round-robin
   scheduler (§3.2 "dequeue phantom packets from the occupied phantom
   queues in a round-robin manner").  Byte-for-byte this converges to the
   fluid shares (property-tested); it exists as an ablation of the
-  idealization.
+  idealization.  Its scheduler tracks the occupied set incrementally
+  (:class:`repro.sched.drr.ActiveSetDrr`) so each phantom dequeue costs
+  O(depth) instead of rebuilding an N-element head list.
+
+Regardless of discipline, ``total_length()`` is a running counter (O(1)),
+and ``drain_recomputes`` counts *fluid linear pieces / DRR dequeues* — the
+paper-modeled amortized drain work — independent of how much Python
+bookkeeping the optimized engines actually skip (see
+:mod:`repro.limiters.costs`).
 """
 
 from __future__ import annotations
 
+from repro.core.gps import VirtualTimeGps
 from repro.policy.tree import Policy
-from repro.sched.drr import HierarchicalDrrScheduler
+from repro.sched.drr import ActiveSetDrr
 from repro.units import MSS
 
 #: Counters below this many bytes are treated as empty (float hygiene).
@@ -43,7 +57,7 @@ class PhantomQueueSet:
     """
 
     #: Supported service disciplines.
-    SERVICES = ("fluid", "quantum")
+    SERVICES = ("fluid", "fluid-ref", "quantum")
 
     def __init__(
         self,
@@ -71,22 +85,30 @@ class PhantomQueueSet:
         self._policy = policy
         self._rate = rate
         self._capacity = [float(c) for c in capacities]
-        self._length = [0.0] * n
         self._magic = [0.0] * n
         self._clock = start_time
         self.service = service
         self._quantum = float(quantum)
-        self._drr: HierarchicalDrrScheduler | None = (
-            HierarchicalDrrScheduler(policy, quantum=quantum)
-            if service == "quantum"
-            else None
-        )
-        #: Unspent service budget carried between quantum drains, bytes.
-        self._budget = 0.0
         #: Fluid-piece recomputations / DRR dequeues, for the cost model.
         self.drain_recomputes = 0
-        #: Total bytes drained so far (real + magic).
-        self.drained_bytes = 0.0
+        #: Virtual-time engine (``fluid``) or eager counters (others).
+        self._gps: VirtualTimeGps | None = None
+        self._length: list[float] | None = None
+        self._drr: ActiveSetDrr | None = None
+        if service == "fluid":
+            self._gps = VirtualTimeGps(policy, rate, start_time=start_time)
+        else:
+            self._length = [0.0] * n
+            #: Running total so ``total_length()`` never rescans (kept in
+            #: lock-step with every enqueue/drain/reclaim below).
+            self._total = 0.0
+            self._drained = 0.0
+            if service == "quantum":
+                self._drr = ActiveSetDrr(
+                    policy, head_of=self._quantum_head, quantum=quantum
+                )
+        #: Unspent service budget carried between quantum drains, bytes.
+        self._budget = 0.0
 
     @property
     def num_queues(self) -> int:
@@ -103,29 +125,59 @@ class PhantomQueueSet:
         """The sharing policy tree."""
         return self._policy
 
+    @property
+    def drained_bytes(self) -> float:
+        """Total bytes drained so far (real + magic)."""
+        if self._gps is not None:
+            return self._gps.drained_bytes
+        return self._drained
+
     def capacity(self, queue: int) -> float:
         """Simulated buffer size of ``queue`` in bytes."""
         return self._capacity[queue]
 
     def length(self, queue: int) -> float:
         """Current phantom occupancy of ``queue`` (advance first!)."""
+        if self._gps is not None:
+            length = self._gps.length(queue)
+            if self._magic[queue] > length:
+                self._magic[queue] = length
+            return length
         return self._length[queue]
 
     def magic_bytes(self, queue: int) -> float:
         """Current magic-byte watermark of ``queue``."""
+        if self._gps is not None:
+            # Settle the lazy drain so the watermark clamp is current.
+            self.length(queue)
         return self._magic[queue]
 
     def remaining(self, queue: int) -> float:
         """Free capacity of ``queue`` in bytes."""
-        return self._capacity[queue] - self._length[queue]
+        return self._capacity[queue] - self.length(queue)
 
     def active_flags(self) -> list[bool]:
         """Occupancy flags used for policy share computation."""
+        if self._gps is not None:
+            mask = self._gps.active_mask
+            return [bool(mask >> i & 1) for i in range(self.num_queues)]
         return [length > _EPSILON for length in self._length]
 
+    def active_mask(self) -> int:
+        """Occupancy bitmask (bit ``i`` set when queue ``i`` holds data)."""
+        if self._gps is not None:
+            return self._gps.active_mask
+        mask = 0
+        for i, length in enumerate(self._length):
+            if length > _EPSILON:
+                mask |= 1 << i
+        return mask
+
     def total_length(self) -> float:
-        """Total phantom bytes across all queues."""
-        return sum(self._length)
+        """Total phantom bytes across all queues (running total, O(1))."""
+        if self._gps is not None:
+            return self._gps.total()
+        return self._total
 
     # ------------------------------------------------------------------
     # Fluid drain
@@ -137,9 +189,19 @@ class PhantomQueueSet:
             raise ValueError(
                 f"time went backwards: {now!r} < {self._clock!r}"
             )
+        if self._gps is not None:
+            self.drain_recomputes += self._gps.advance(now)
+            self._clock = now
+            return
         if self._drr is not None:
             self._advance_quantum(now)
             return
+        self._advance_fluid_ref(now)
+
+    def _advance_fluid_ref(self, now: float) -> None:
+        """The reference piecewise drain: recompute every share and scan
+        every queue per linear piece.  O(N) per arrival — kept as the
+        executable specification of the fluid service."""
         lengths = self._length
         while now > self._clock:
             active = [length > _EPSILON for length in lengths]
@@ -160,13 +222,22 @@ class PhantomQueueSet:
                 if ri > 0:
                     drained = ri * dt
                     lengths[i] -= drained
-                    self.drained_bytes += drained
+                    self._drained += drained
+                    self._total -= drained
                     if lengths[i] < _EPSILON:
+                        self._total += lengths[i]
                         lengths[i] = 0.0
                     if self._magic[i] > lengths[i]:
                         self._magic[i] = lengths[i]
+            if self._total < 0.0:
+                self._total = 0.0
             self._clock += dt
         self._clock = max(self._clock, now)
+
+    def _quantum_head(self, queue: int) -> float:
+        """Next phantom-packet size of an occupied queue (DRR peek)."""
+        length = self._length[queue]
+        return length if length < self._quantum else self._quantum
 
     def _advance_quantum(self, now: float) -> None:
         """Batched DRR dequeues: spend ``rate x dt`` bytes of service in
@@ -176,34 +247,39 @@ class PhantomQueueSet:
         lengths = self._length
         self._budget += self._rate * (now - self._clock)
         self._clock = now
-        if not any(length > _EPSILON for length in lengths):
+        drr = self._drr
+        assert drr is not None
+        if not drr.any_active():
             # A policer accrues no service while idle: it has no tokens
             # beyond the queue capacities themselves.
             self._budget = 0.0
             return
-        drr = self._drr
-        assert drr is not None
+        quantum = self._quantum
         while self._budget > _EPSILON:
-            heads = [
-                min(self._quantum, length) if length > _EPSILON else None
-                for length in lengths
-            ]
-            queue = drr.select(heads)
+            queue = drr.select()
             if queue is None:
                 self._budget = 0.0
                 return
-            size = min(heads[queue], self._budget)  # type: ignore[arg-type]
+            head = lengths[queue]
+            if head > quantum:
+                head = quantum
+            size = min(head, self._budget)
             if size <= _EPSILON:
                 return
             drr.charge(size)
             lengths[queue] -= size
-            self.drained_bytes += size
+            self._drained += size
+            self._total -= size
             self._budget -= size
             self.drain_recomputes += 1
             if lengths[queue] < _EPSILON:
+                self._total += lengths[queue]
                 lengths[queue] = 0.0
+                drr.deactivate(queue)
             if self._magic[queue] > lengths[queue]:
                 self._magic[queue] = lengths[queue]
+        if self._total < 0.0:
+            self._total = 0.0
 
     # ------------------------------------------------------------------
     # Enqueue / magic manipulation (callers advance() first)
@@ -211,30 +287,76 @@ class PhantomQueueSet:
 
     def try_enqueue(self, queue: int, size: float) -> bool:
         """Enqueue ``size`` phantom bytes if they fit; return success."""
+        if self._gps is not None:
+            # Settle via self.length() so the magic watermark clamps at
+            # this instant — new real bytes stack on top of the low-water
+            # mark, and a later settle must not clamp magic against them.
+            if self.length(queue) + size <= self._capacity[queue] + _EPSILON:
+                self._gps.add(queue, size)
+                return True
+            return False
         if self._length[queue] + size <= self._capacity[queue] + _EPSILON:
+            if (
+                self._drr is not None
+                and self._length[queue] <= _EPSILON
+                and self._length[queue] + size > _EPSILON
+            ):
+                self._drr.activate(queue)
             self._length[queue] += size
+            self._total += size
             return True
         return False
 
     def fill_with_magic(self, queue: int) -> float:
         """Fill ``queue`` to capacity with magic bytes; return bytes added."""
+        if self._gps is not None:
+            added = self._capacity[queue] - self.length(queue)
+            if added > 0:
+                self._gps.add(queue, added)
+                self._magic[queue] += added
+                return added
+            return 0.0
         added = self._capacity[queue] - self._length[queue]
         if added > 0:
+            if self._drr is not None and self._length[queue] <= _EPSILON:
+                self._drr.activate(queue)
             self._length[queue] = self._capacity[queue]
+            self._total += added
             self._magic[queue] += added
             return added
         return 0.0
 
     def reclaim_magic(self, queue: int) -> float:
         """Remove all (remaining) magic bytes from ``queue``."""
+        if self._gps is not None:
+            length = self.length(queue)
+            reclaimable = min(self._magic[queue], length)
+            if reclaimable > 0:
+                self._gps.remove(queue, reclaimable)
+            self._magic[queue] = 0.0
+            return reclaimable
         reclaimable = min(self._magic[queue], self._length[queue])
         if reclaimable > 0:
             self._length[queue] -= reclaimable
+            self._total -= reclaimable
             if self._length[queue] < _EPSILON:
+                self._total += self._length[queue]
                 self._length[queue] = 0.0
+                if self._drr is not None:
+                    self._drr.deactivate(queue)
+            if self._total < 0.0:
+                self._total = 0.0
         self._magic[queue] = 0.0
         return reclaimable
 
     def fluid_rates(self) -> list[float]:
         """Current per-queue phantom service rates (after an advance)."""
-        return self._policy.fluid_rates(self.active_flags(), self._rate)
+        return self._policy.fluid_rates(self.active_mask(), self._rate)
+
+    def fluid_rate_of(self, queue: int) -> float:
+        """Current phantom service rate of one queue (after an advance).
+
+        O(1) while the occupied set is stable: reads the memoized share
+        vector instead of materializing all N rates.
+        """
+        return self._policy.fluid_rate_of(queue, self.active_mask(), self._rate)

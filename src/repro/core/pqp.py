@@ -33,9 +33,11 @@ class PQP(RateLimiter):
         queue or a per-queue list.  §3.5: must be at least the Reno
         requirement ``BDP^2/18 x MSS`` for correct steady-state rates.
     service:
-        Phantom service discipline: ``"fluid"`` (GPS idealization, the
-        default) or ``"quantum"`` (batched DRR dequeues, the paper's
-        literal mechanism) — see :class:`~repro.core.phantom.PhantomQueueSet`.
+        Phantom service discipline: ``"fluid"`` (GPS idealization via the
+        virtual-time engine, the default), ``"fluid-ref"`` (the reference
+        piecewise loop, byte-equivalent up to float rounding) or
+        ``"quantum"`` (batched DRR dequeues, the paper's literal
+        mechanism) — see :class:`~repro.core.phantom.PhantomQueueSet`.
     ecn_mark_fraction:
         Optional AQM extension (§3.3 permits arrival-time AQM on phantom
         queues): ECN-capable packets accepted while the queue occupancy
@@ -94,6 +96,11 @@ class PQP(RateLimiter):
         self.queues.advance(now)
         # Counter updates: lazy drain recomputes (amortized) + occupancy
         # check + enqueue increment.  All cache-resident counters.
+        # ``drain_recomputes`` counts the *paper's* per-packet drain work
+        # (linear pieces / phantom dequeues), which every service
+        # discipline reports identically — the modeled cost is pinned to
+        # the mechanism, not to how much Python bookkeeping the optimized
+        # engines skip (see repro.limiters.costs).
         self.cost.charge(Op.ALU, 3 + 2 * (self.queues.drain_recomputes - before))
         self._arrived(qi, packet, now)
         if self.queues.try_enqueue(qi, packet.size):

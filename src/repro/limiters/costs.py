@@ -18,6 +18,14 @@ emerges from each limiter's operation mix rather than being asserted:
 
 Real wall-clock microbenchmarks of the same hot paths (pytest-benchmark,
 ``benchmarks/bench_fig5_efficiency.py``) cross-check the modeled ranking.
+
+The modeled counts are pinned to the *paper's* per-packet operations, not
+to the simulator's Python work.  Charges are driven by mechanism-level
+quantities (``drain_recomputes`` = fluid linear pieces / phantom DRR
+dequeues, window rolls, timer events) that every service discipline
+reports identically, so optimizing the simulation — e.g. the virtual-time
+drain engine skipping per-queue rescans — leaves modeled cycles/packet
+untouched.  Wall-clock benchmarks move; the cost model must not.
 """
 
 from __future__ import annotations

@@ -45,10 +45,16 @@ Node = Union[Leaf, ClassNode]
 
 @dataclass
 class _CompiledNode:
-    """Flattened node with precomputed subtree leaf sets for fast traversal."""
+    """Flattened node with precomputed subtree leaf sets for fast traversal.
+
+    ``leaf_mask`` is the same leaf set as a bitmask (bit ``q`` set when
+    queue ``q`` lives under this subtree), so activity checks against an
+    active-set bitmask are single AND operations instead of per-leaf scans.
+    """
 
     node: Node
     leaves: tuple[int, ...]
+    leaf_mask: int = 0
     children: list["_CompiledNode"] = field(default_factory=list)
 
 
@@ -70,6 +76,10 @@ class Policy:
     and exactly the ``r*_i`` estimate BC-PQP's burst control needs.
     """
 
+    #: Share vectors memoized per (active-set bitmask, rate); cleared when
+    #: it grows past this many entries (distinct active sets seen).
+    _SHARE_CACHE_MAX = 4096
+
     def __init__(self, root: Node) -> None:
         self._root = self._compile(root)
         queues = sorted(self._root.leaves)
@@ -79,16 +89,34 @@ class Policy:
                 f"got {queues}"
             )
         self._num_queues = len(queues)
+        self._share_cache: dict[tuple[int, float], tuple[float, ...]] = {}
 
     @classmethod
     def _compile(cls, node: Node) -> _CompiledNode:
         if isinstance(node, Leaf):
-            return _CompiledNode(node=node, leaves=(node.queue,))
+            return _CompiledNode(
+                node=node, leaves=(node.queue,), leaf_mask=1 << node.queue
+            )
         children = [cls._compile(c) for c in node.children]
         leaves: list[int] = []
+        mask = 0
         for child in children:
             leaves.extend(child.leaves)
-        return _CompiledNode(node=node, leaves=tuple(leaves), children=children)
+            mask |= child.leaf_mask
+        return _CompiledNode(
+            node=node, leaves=tuple(leaves), leaf_mask=mask, children=children
+        )
+
+    def __getstate__(self) -> dict:
+        # The memo cache is derived state; keep pickles (sweep-runner
+        # configs cross process boundaries) small and deterministic.
+        state = dict(self.__dict__)
+        state["_share_cache"] = {}
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._share_cache = {}
 
     @property
     def root(self) -> Node:
@@ -105,41 +133,86 @@ class Policy:
         # runner's result cache hashes configs by repr.
         return f"Policy({self.root!r})"
 
-    def fluid_rates(self, active: Sequence[bool], rate: float) -> list[float]:
-        """Instantaneous GPS service rate of each queue.
-
-        ``active[i]`` says whether queue ``i`` currently holds data.  The
-        full ``rate`` is always distributed among active queues (work
-        conservation); inactive queues get 0.  If nothing is active, all
-        rates are 0.
-        """
+    def _active_mask(self, active: Sequence[bool] | int) -> int:
+        """Normalize an activity description to a bitmask."""
+        if isinstance(active, int):
+            if active < 0 or active >> self._num_queues:
+                raise ValueError(
+                    f"active mask {active:#x} has bits outside "
+                    f"0..{self._num_queues - 1}"
+                )
+            return active
         if len(active) != self._num_queues:
             raise ValueError(
                 f"expected {self._num_queues} activity flags, got {len(active)}"
             )
+        mask = 0
+        for i, flag in enumerate(active):
+            if flag:
+                mask |= 1 << i
+        return mask
+
+    def fluid_rates(self, active: Sequence[bool] | int, rate: float) -> list[float]:
+        """Instantaneous GPS service rate of each queue.
+
+        ``active`` says which queues currently hold data — either one flag
+        per queue or a bitmask (bit ``i`` set when queue ``i`` is occupied).
+        The full ``rate`` is always distributed among active queues (work
+        conservation); inactive queues get 0.  If nothing is active, all
+        rates are 0.
+
+        Results are memoized per ``(mask, rate)``: the tree is only walked
+        when the occupied set actually changes, which is what keeps the
+        phantom drain's share lookups O(1) between active-set transitions.
+        """
+        return list(self._rates_for(self._active_mask(active), rate))
+
+    def fluid_rate_of(
+        self, queue: int, active: Sequence[bool] | int, rate: float
+    ) -> float:
+        """Single-queue GPS rate — same memoized vector, no list built.
+
+        This is the path BC-PQP's per-packet ``r*_i`` estimate takes: an
+        O(1) cache hit while the occupied set is stable, instead of
+        materializing all N rates to read one entry.
+        """
+        if not 0 <= queue < self._num_queues:
+            raise ValueError(f"queue {queue} out of range 0..{self._num_queues - 1}")
+        return self._rates_for(self._active_mask(active), rate)[queue]
+
+    def _rates_for(self, mask: int, rate: float) -> tuple[float, ...]:
+        """Memoized rate vector for an active-set bitmask."""
+        key = (mask, rate)
+        cached = self._share_cache.get(key)
+        if cached is not None:
+            return cached
         rates = [0.0] * self._num_queues
-        if rate > 0 and any(active):
-            self._assign(self._root, rate, active, rates)
-        return rates
+        if rate > 0 and mask:
+            self._assign(self._root, rate, mask, rates)
+        if len(self._share_cache) >= self._SHARE_CACHE_MAX:
+            self._share_cache.clear()
+        result = tuple(rates)
+        self._share_cache[key] = result
+        return result
 
     def _assign(
         self,
         node: _CompiledNode,
         rate: float,
-        active: Sequence[bool],
+        mask: int,
         out: list[float],
     ) -> None:
         if isinstance(node.node, Leaf):
             out[node.node.queue] = rate
             return
-        live = [c for c in node.children if any(active[q] for q in c.leaves)]
+        live = [c for c in node.children if mask & c.leaf_mask]
         if not live:
             return
         top = min(c.node.priority for c in live)
         winners = [c for c in live if c.node.priority == top]
         total_weight = sum(c.node.weight for c in winners)
         for child in winners:
-            self._assign(child, rate * child.node.weight / total_weight, active, out)
+            self._assign(child, rate * child.node.weight / total_weight, mask, out)
 
     # ------------------------------------------------------------------
     # Factories for the policies used throughout the paper.

@@ -51,6 +51,9 @@ class AggregateConfig:
     policy: Policy | None = None
     queue_bytes: float | None = None
     window: float = MEASUREMENT_WINDOW
+    #: Phantom service discipline for pqp/bcpqp ("fluid", "fluid-ref",
+    #: "quantum"); ignored by other schemes.
+    phantom_service: str = "fluid"
 
     def __post_init__(self) -> None:
         # Tolerate list inputs (call sites build grids with lists) while
@@ -125,6 +128,7 @@ def build_scenario(
         weights=list(config.weights) if config.weights else None,
         policy=config.policy,
         queue_bytes=config.queue_bytes,
+        phantom_service=config.phantom_service,
     )
     scenario = AggregateScenario(
         sim,

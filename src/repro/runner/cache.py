@@ -58,29 +58,41 @@ _SCHEME_SOURCES: dict[str, tuple[str, ...]] = {
     "policer": ("limiters/token_bucket.py",),
     "policer+": ("limiters/token_bucket.py",),
     "fairpolicer": ("limiters/fair_policer.py",),
-    "pqp": ("core/pqp.py", "core/phantom.py", "core/sizing.py"),
+    "pqp": ("core/pqp.py", "core/phantom.py", "core/gps.py", "core/sizing.py"),
     "bcpqp": (
         "core/bcpqp.py",
         "core/pqp.py",
         "core/phantom.py",
+        "core/gps.py",
         "core/sizing.py",
     ),
 }
 
 
-@lru_cache(maxsize=None)
-def _hash_sources(relative_paths: tuple[str, ...]) -> str:
+def _hash_sources_at(relative_paths: tuple[str, ...], src_root: Path) -> str:
+    """Uncached fingerprint of ``relative_paths`` under ``src_root``.
+
+    Exposed (with an explicit root) so tests can prove the fingerprint
+    tracks file *bytes* without mutating the installed package.
+    """
     digest = hashlib.sha256()
     for rel in relative_paths:
-        path = _SRC_ROOT / rel
+        path = src_root / rel
         files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
         for file in files:
-            digest.update(str(file.relative_to(_SRC_ROOT)).encode())
+            digest.update(str(file.relative_to(src_root)).encode())
             try:
                 digest.update(file.read_bytes())
             except OSError:
                 digest.update(b"<missing>")
     return digest.hexdigest()
+
+
+@lru_cache(maxsize=None)
+def _hash_sources(relative_paths: tuple[str, ...]) -> str:
+    # Source bytes are immutable for the life of a process run, so the
+    # default-root fingerprint memoizes; explicit-root hashing never does.
+    return _hash_sources_at(relative_paths, _SRC_ROOT)
 
 
 def scheme_fingerprint(scheme: str) -> str:

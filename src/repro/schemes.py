@@ -72,6 +72,9 @@ def make_limiter(
     ``policy`` defaults to per-flow fairness over ``num_queues`` (or
     weighted fairness when ``weights`` is given).  ``queue_bytes``
     overrides the paper's default sizing when provided.
+    ``phantom_service`` selects the pqp/bcpqp drain discipline
+    (``"fluid"``, ``"fluid-ref"`` or ``"quantum"``); other schemes
+    ignore it.
     """
     if scheme not in SCHEMES:
         raise ValueError(f"unknown scheme {scheme!r}; choose from {SCHEMES}")

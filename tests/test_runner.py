@@ -142,6 +142,33 @@ class TestResultCache:
         assert scheme_fingerprint("bcpqp") != scheme_fingerprint("policer")
         assert scheme_fingerprint("bcpqp") == scheme_fingerprint("bcpqp")
 
+    @pytest.mark.parametrize("scheme", ["pqp", "bcpqp"])
+    def test_phantom_fingerprints_cover_drain_sources(self, scheme):
+        # A drain rewrite must provably invalidate cached PQP/BC-PQP sweep
+        # cells: the phantom counter module, the policer hot path, and the
+        # virtual-time engine all have to be in the hashed source set.
+        from repro.runner.cache import _SCHEME_SOURCES
+
+        sources = _SCHEME_SOURCES[scheme]
+        for required in ("core/phantom.py", "core/pqp.py", "core/gps.py"):
+            assert required in sources, f"{scheme} fingerprint misses {required}"
+
+    @pytest.mark.parametrize("rel", ["core/phantom.py", "core/pqp.py"])
+    def test_fingerprint_tracks_source_bytes(self, tmp_path, rel):
+        # Behavioral check: changing one byte of a covered file changes
+        # the hash (exercised on a scratch tree, not the installed pkg).
+        from repro.runner.cache import _SCHEME_SOURCES, _hash_sources_at
+
+        sources = _SCHEME_SOURCES["pqp"]
+        assert rel in sources
+        for r in sources:
+            target = tmp_path / r
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(f"# stub for {r}\n")
+        before = _hash_sources_at(sources, tmp_path)
+        (tmp_path / rel).write_text("# rewritten drain\n")
+        assert _hash_sources_at(sources, tmp_path) != before
+
     def test_clear(self, tmp_path):
         cache = ResultCache(tmp_path)
         cache.store("abc", {"x": 1})

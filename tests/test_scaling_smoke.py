@@ -1,0 +1,64 @@
+"""Smoke tests for the drain-scalability regression guard.
+
+The paper's Figure 5 claim — cost per packet stays flat as aggregates
+grow — must hold for our own hot path now that the phantom drain is
+O(log N).  Two guards:
+
+* a deterministic one on *modeled* cycles/packet, which by design counts
+  the paper's per-packet operations and so must not grow with N at all;
+* a wall-clock one driven through ``benchmarks/report.py --check``, kept
+  loose (CI machines are noisy) but far below the ~100x an O(N)-per-
+  arrival drain would show at N=1000 vs N=10.
+
+Marked ``scaling`` so wall-clock-sensitive environments can deselect
+them with ``-m "not scaling"``.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_BENCHMARKS = Path(__file__).resolve().parent.parent / "benchmarks"
+if str(_BENCHMARKS) not in sys.path:
+    sys.path.insert(0, str(_BENCHMARKS))
+
+import report  # noqa: E402
+
+pytestmark = pytest.mark.scaling
+
+
+@pytest.fixture(scope="module")
+def scaling():
+    # One timing round keeps the smoke test quick; the ratio check below
+    # is loose enough that a single median sample suffices.
+    return report.scaling_section(rounds=1, ns=(10, 1000))
+
+
+class TestScalingSmoke:
+    def test_check_passes_at_loose_multiple(self, scaling):
+        # An O(N)-per-arrival drain shows ~100x here; O(log N) shows ~1x.
+        assert report.check_scaling(scaling, multiple=8.0) == []
+
+    @pytest.mark.parametrize("scheme", report.SCALING_SCHEMES)
+    def test_modeled_cycles_stay_flat(self, scaling, scheme):
+        # Deterministic: the cost model charges the paper's per-packet
+        # operations, so N=1000 must stay within jitter (window-roll and
+        # activation transients) of N=10 — never a linear blowup.
+        per_n = scaling["schemes"][scheme]
+        small = per_n["10"]["modeled_cycles_per_packet"]
+        big = per_n["1000"]["modeled_cycles_per_packet"]
+        assert big <= 1.5 * small
+
+    def test_check_flags_regressions(self):
+        # The guard itself must trip when handed a linear blowup.
+        fake = {
+            "schemes": {
+                "pqp": {
+                    "10": {"seconds_per_packet": 1e-6},
+                    "1000": {"seconds_per_packet": 1e-4},
+                }
+            }
+        }
+        failures = report.check_scaling(fake, multiple=3.0)
+        assert len(failures) == 1 and "pqp" in failures[0]
