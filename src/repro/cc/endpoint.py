@@ -151,6 +151,10 @@ class TcpSender:
 
         sim.schedule_at(max(start_time, sim.now), self._start)
 
+        validator = getattr(sim, "validator", None)
+        if validator is not None:
+            validator.attach_sender(self)
+
     # ------------------------------------------------------------------
     # Public state
     # ------------------------------------------------------------------

@@ -107,6 +107,16 @@ class BCPQP(PQP):
         """Bytes that arrived for ``queue`` in the current window."""
         return self._arrived_window[queue]
 
+    def window_age(self, queue: int, now: float) -> float:
+        """Age of ``queue``'s current tumbling window at time ``now``.
+
+        Windows roll on the queue's own clock (arrivals and the periodic
+        sweep), so immediately after either event every touched queue's
+        age is below ``period`` — the accounting invariant the checker
+        asserts.
+        """
+        return now - self._window_start[queue]
+
     def _arrived(self, queue: int, packet: Packet, now: float) -> None:
         self._maybe_roll_window(queue, now)
         self._arrived_window[queue] += packet.size

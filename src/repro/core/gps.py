@@ -192,6 +192,33 @@ class VirtualTimeGps:
             leaf.v_touch = group.v
         return leaf.bytes_touch
 
+    def peek_length(self, queue: int) -> float:
+        """Current bytes in ``queue`` *without* settling its lazy state.
+
+        Pure read for observers (the invariant checker): computes the
+        drain since last touch but writes nothing back, so probing a run
+        leaves its float trajectory bit-identical to an unprobed one.
+        """
+        leaf = self._leaves[queue]
+        if not leaf.active:
+            return leaf.bytes_touch
+        group = leaf.group
+        assert group is not None
+        remaining = leaf.bytes_touch - leaf.weight * (group.v - leaf.v_touch)
+        return remaining if remaining > 0.0 else 0.0
+
+    def group_virtual_times(self) -> list[float]:
+        """Every (node, priority-class) virtual time, in a stable order.
+
+        Each entry is monotone non-decreasing over the life of the run —
+        the GPS construction's core invariant, exposed for the checker.
+        """
+        return [
+            node.groups[priority].v
+            for node in self._internal
+            for priority in sorted(node.groups)
+        ]
+
     def total(self) -> float:
         """Total bytes across all queues, O(1)."""
         return self._total

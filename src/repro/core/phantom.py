@@ -145,6 +145,34 @@ class PhantomQueueSet:
             return length
         return self._length[queue]
 
+    def peek_length(self, queue: int) -> float:
+        """Occupancy of ``queue`` without mutating any lazy drain state.
+
+        The invariant checker probes every queue after every packet; a
+        probe must not settle the fluid engine's floats (settling is
+        semantically neutral but perturbs last-ulp rounding, and a
+        validated run must stay bit-identical to an unvalidated one).
+        """
+        if self._gps is not None:
+            return self._gps.peek_length(queue)
+        return self._length[queue]
+
+    def peek_magic(self, queue: int) -> float:
+        """Effective magic watermark of ``queue``, without settling.
+
+        The stored watermark is clamped lazily (a queue draining below it
+        between packets leaves the raw value stale-high until the next
+        settle); the effective value is its clamp against the current
+        occupancy.
+        """
+        magic = self._magic[queue]
+        length = self.peek_length(queue)
+        return magic if magic < length else length
+
+    def raw_magic(self, queue: int) -> float:
+        """The stored (possibly stale-high, never negative) watermark."""
+        return self._magic[queue]
+
     def magic_bytes(self, queue: int) -> float:
         """Current magic-byte watermark of ``queue``."""
         if self._gps is not None:
@@ -178,6 +206,15 @@ class PhantomQueueSet:
         if self._gps is not None:
             return self._gps.total()
         return self._total
+
+    def gps_virtual_times(self) -> list[float] | None:
+        """Virtual-time snapshot of the fluid engine (``None`` otherwise).
+
+        Pure read; see :meth:`VirtualTimeGps.group_virtual_times`.
+        """
+        if self._gps is None:
+            return None
+        return self._gps.group_virtual_times()
 
     # ------------------------------------------------------------------
     # Fluid drain

@@ -75,12 +75,22 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
         help="directory for the on-disk result cache (reuses results for "
         "unchanged config + scheme code)",
     )
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="attach the runtime invariant checker to every simulation "
+        "(figure output is unchanged; a broken invariant aborts the run)",
+    )
     return parser.parse_args(argv)
 
 
 def main(argv: list[str] | None = None) -> None:
     """Run the selected experiments, timing each."""
     args = _parse_args(argv)
+    if args.validate:
+        from repro.experiments.common import set_validate
+
+        set_validate(True)
     jobs = default_jobs() if args.jobs == 0 else args.jobs
     try:
         cache = ResultCache(args.cache) if args.cache else None

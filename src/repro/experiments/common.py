@@ -10,7 +10,7 @@ examples and one-off cells that want the live limiter/scenario objects.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Sequence
 
 from repro.limiters.base import RateLimiter
@@ -39,7 +39,19 @@ __all__ = [
     "print_table",
     "run_aggregate",
     "run_aggregates",
+    "set_validate",
 ]
+
+#: Session-wide validation toggle (the experiments CLI's ``--validate``).
+#: When True every config submitted through :func:`run_aggregates` runs
+#: with the invariant checker attached.
+_FORCE_VALIDATE = False
+
+
+def set_validate(enabled: bool) -> None:
+    """Force invariant checking on (or off) for subsequent sweeps."""
+    global _FORCE_VALIDATE
+    _FORCE_VALIDATE = bool(enabled)
 
 
 @dataclass
@@ -93,6 +105,7 @@ def run_aggregates(
     *,
     jobs: int | None = None,
     cache: ResultCache | None = None,
+    validate: bool | None = None,
 ) -> list[AggregateOutcome]:
     """Run a grid of aggregate configs through the sweep runner.
 
@@ -100,7 +113,19 @@ def run_aggregates(
     serially in-process and matches parallel output bit for bit; a cache
     keyed per-scheme skips cells whose config and scheme code are
     unchanged since a previous run.
+
+    ``validate`` attaches the invariant checker to every cell
+    (``None`` defers to the session toggle, :func:`set_validate`).
+    Validated configs carry their own cache keys and a fingerprint that
+    covers the checker sources, so flipping validation on never poisons
+    cached unvalidated results.
     """
+    if validate is None:
+        validate = _FORCE_VALIDATE
+    if validate:
+        configs = [
+            c if c.validate else replace(c, validate=True) for c in configs
+        ]
     return run_tasks(
         simulate_aggregate,
         configs,

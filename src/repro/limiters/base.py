@@ -49,6 +49,12 @@ class RateLimiter(ABC):
         self._downstream: PacketSink | None = None
         self.stats = LimiterStats()
         self.cost = CostMeter()
+        validator = getattr(sim, "validator", None)
+        if validator is not None:
+            # The checker wraps instance-level bound methods (receive and,
+            # for BC-PQP, the window sweep) and defers all introspection
+            # to call time — subclass attributes don't exist yet here.
+            validator.attach_limiter(self)
 
     def connect(self, downstream: PacketSink) -> None:
         """Attach the next hop packets are forwarded to."""

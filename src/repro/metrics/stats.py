@@ -2,14 +2,21 @@
 
 from __future__ import annotations
 
+import math
 from typing import Iterable, Sequence
 
 
 def mean(values: Iterable[float]) -> float:
-    """Arithmetic mean; 0.0 for an empty input."""
+    """Arithmetic mean; ``nan`` for an empty input.
+
+    An empty sample has no mean — returning 0.0 here used to make a
+    misconfigured experiment (empty trace, zero-duration run) report a
+    plausible-looking zero instead of something that propagates and
+    fails loudly downstream.
+    """
     xs = list(values)
     if not xs:
-        return 0.0
+        return math.nan
     return sum(xs) / len(xs)
 
 
@@ -47,9 +54,14 @@ def cdf_points(values: Sequence[float]) -> list[tuple[float, float]]:
 
 
 def summarize(values: Sequence[float]) -> dict[str, float]:
-    """Mean / p50 / p90 / p99 / max summary of a sample."""
+    """Mean / p50 / p90 / p99 / max summary of a sample.
+
+    Raises ``ValueError`` on an empty sample: every caller that reaches a
+    summary with no data has already lost its measurements, and an
+    all-zeros summary would mask that.
+    """
     if not values:
-        return {"mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0}
+        raise ValueError("summarize() of an empty sample")
     return {
         "mean": mean(values),
         "p50": percentile(values, 50),

@@ -15,6 +15,7 @@ accepted.
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict
 from typing import Callable, Hashable, Iterable
 
@@ -33,21 +34,41 @@ def _columns(records: Records) -> tuple[list, list, list] | None:
     return None
 
 
-def _validate(window: float, start: float, end: float) -> int:
+def _validate(window: float, start: float, end: float) -> tuple[int, float]:
+    """Bin layout for ``[start, end)``: ``(nbins, last_width)``.
+
+    ``(end - start) / window`` FP-truncated used to decide the bin count:
+    0.7 / 0.1 computes to 6.999...9, silently dropping the final 100 ms
+    window the paper measures.  A quotient within a few ULP of an integer
+    is that integer (the extent *is* a whole number of windows and the
+    division merely rounded); a genuinely fractional extent gets one extra
+    *partial* bin covering ``[start + whole x window, end)`` so no
+    in-range record is ever excluded — its rate divides by the true
+    partial width (``last_width``), not the full window.
+    """
     if window <= 0:
         raise ValueError(f"window must be positive, got {window!r}")
     if end <= start:
         raise ValueError("end must be after start")
-    nbins = int((end - start) / window)
-    if nbins < 1:
+    quotient = (end - start) / window
+    nearest = round(quotient)
+    if nearest >= 1 and abs(quotient - nearest) <= 4.0 * math.ulp(nearest):
+        return int(nearest), window
+    whole = int(quotient)
+    if whole < 1:
         raise ValueError("measurement interval shorter than one window")
-    return nbins
+    return whole + 1, (end - start) - whole * window
 
 
-def _series(acc: list[float], window: float, start: float) -> TimeSeries:
+def _series(
+    acc: list[float], window: float, start: float, last_width: float
+) -> TimeSeries:
+    values = [nbytes / window for nbytes in acc]
+    if values and last_width != window:
+        values[-1] = acc[-1] / last_width
     return TimeSeries(
         times=[start + i * window for i in range(len(acc))],
-        values=[nbytes / window for nbytes in acc],
+        values=values,
     )
 
 
@@ -63,19 +84,22 @@ def _binned_rates(
     Generic fallback for arbitrary record iterables; traces go through the
     column fast paths in the public functions instead.
     """
-    nbins = _validate(window, start, end)
+    nbins, last_width = _validate(window, start, end)
     inv_window = 1.0 / window
-    limit = start + nbins * window
     last = nbins - 1
     bins: dict[Hashable, list[float]] = defaultdict(lambda: [0.0] * nbins)
     for rec in records:
         t = rec.time
-        if start <= t < limit:
-            # A record one ULP below ``limit`` can still divide to exactly
-            # ``nbins`` after FP rounding; clamp into the last bin.
+        if start <= t < end:
+            # A record one ULP below ``end`` can still divide to exactly
+            # ``nbins`` after FP rounding, and records in a trailing
+            # partial window divide to ``nbins - 1``; clamp to the last
+            # bin either way.
             index = int((t - start) * inv_window)
             bins[key(rec)][index if index < last else last] += rec.size
-    return {k: _series(acc, window, start) for k, acc in bins.items()}
+    return {
+        k: _series(acc, window, start, last_width) for k, acc in bins.items()
+    }
 
 
 def _binned_columns(
@@ -93,21 +117,20 @@ def _binned_columns(
     key ``"all"``); otherwise ``keys`` is the flow-id column and
     ``slot_key`` selects binning by ``flow.slot`` instead of the full id.
     """
-    nbins = _validate(window, start, end)
+    nbins, _last_width = _validate(window, start, end)
     inv_window = 1.0 / window
-    limit = start + nbins * window
     last = nbins - 1
     bins: dict[Hashable, list[float]] = {}
     if keys is None:
         acc = [0.0] * nbins
         for i, t in enumerate(times):
-            if start <= t < limit:
+            if start <= t < end:
                 index = int((t - start) * inv_window)
                 acc[index if index < last else last] += sizes[i]
         bins["all"] = acc
         return bins
     for i, t in enumerate(times):
-        if start <= t < limit:
+        if start <= t < end:
             index = int((t - start) * inv_window)
             k = keys[i].slot if slot_key else keys[i]
             acc = bins.get(k)
@@ -128,8 +151,9 @@ def aggregate_throughput_series(
     cols = _columns(records)
     if cols is not None:
         times, _flows, sizes = cols
+        _nbins, last_width = _validate(window, start, end)
         acc = _binned_columns(times, sizes, None, window, start, end)["all"]
-        return _series(acc, window, start)
+        return _series(acc, window, start, last_width)
     rates = _binned_rates(records, window, start, end, key=lambda _r: "all")
     return rates.get("all", _empty_series(window, start, end))
 
@@ -145,8 +169,12 @@ def per_flow_throughput_series(
     cols = _columns(records)
     if cols is not None:
         times, flows, sizes = cols
+        _nbins, last_width = _validate(window, start, end)
         bins = _binned_columns(times, sizes, flows, window, start, end)
-        return {k: _series(acc, window, start) for k, acc in bins.items()}
+        return {
+            k: _series(acc, window, start, last_width)
+            for k, acc in bins.items()
+        }
     return _binned_rates(records, window, start, end, key=lambda r: r.flow)  # type: ignore[return-value]
 
 
@@ -161,10 +189,14 @@ def per_slot_throughput_series(
     cols = _columns(records)
     if cols is not None:
         times, flows, sizes = cols
+        _nbins, last_width = _validate(window, start, end)
         bins = _binned_columns(
             times, sizes, flows, window, start, end, slot_key=True
         )
-        return {k: _series(acc, window, start) for k, acc in bins.items()}
+        return {
+            k: _series(acc, window, start, last_width)
+            for k, acc in bins.items()
+        }
     return _binned_rates(records, window, start, end, key=lambda r: r.flow.slot)  # type: ignore[return-value]
 
 
@@ -197,9 +229,38 @@ def burst_factor(series: TimeSeries, rate: float, *, p: float = 99.0) -> float:
     return percentile(series.values, p) / rate
 
 
+def binned_bytes(
+    records: Records,
+    *,
+    window: float,
+    start: float,
+    end: float,
+) -> list[float]:
+    """Raw per-bin byte totals for ``[start, end)``, all flows summed.
+
+    The sum over bins equals the total bytes of in-range records exactly
+    (integer packet sizes accumulate exactly in floats) — the conservation
+    property the throughput series are derived from.
+    """
+    cols = _columns(records)
+    if cols is not None:
+        times, _flows, sizes = cols
+        return _binned_columns(times, sizes, None, window, start, end)["all"]
+    nbins, _last_width = _validate(window, start, end)
+    inv_window = 1.0 / window
+    last = nbins - 1
+    acc = [0.0] * nbins
+    for rec in records:
+        t = rec.time
+        if start <= t < end:
+            index = int((t - start) * inv_window)
+            acc[index if index < last else last] += rec.size
+    return acc
+
+
 def _empty_series(window: float, start: float, end: float) -> TimeSeries:
     series = TimeSeries()
-    nbins = int((end - start) / window)
+    nbins, _last_width = _validate(window, start, end)
     for i in range(nbins):
         series.append(start + i * window, 0.0)
     return series

@@ -22,6 +22,9 @@ class Middlebox:
         self._limiters: dict[int, RateLimiter] = {}
         self._default = None
         self.unmatched_packets = 0
+        validator = getattr(sim, "validator", None)
+        if validator is not None:
+            validator.attach_middlebox(self)
 
     def add_aggregate(self, aggregate: int, limiter: RateLimiter) -> None:
         """Register ``limiter`` for ``aggregate``; replacing is an error."""

@@ -54,6 +54,11 @@ class AggregateConfig:
     #: Phantom service discipline for pqp/bcpqp ("fluid", "fluid-ref",
     #: "quantum"); ignored by other schemes.
     phantom_service: str = "fluid"
+    #: Attach the runtime invariant checker to the run.  Outcomes are
+    #: byte-identical either way (the checker is a pure observer), but
+    #: the field participates in the config ``repr`` so validated and
+    #: unvalidated runs never share cache entries.
+    validate: bool = False
 
     def __post_init__(self) -> None:
         # Tolerate list inputs (call sites build grids with lists) while
@@ -65,7 +70,7 @@ class AggregateConfig:
 
     def code_fingerprint(self) -> str:
         """Cache fingerprint covering this config's scheme code."""
-        return scheme_fingerprint(self.scheme)
+        return scheme_fingerprint(self.scheme, validate=self.validate)
 
 
 @dataclass
@@ -172,7 +177,15 @@ def measure(
 
 def simulate_aggregate(config: AggregateConfig) -> AggregateOutcome:
     """Worker entry point: simulate one aggregate and measure it."""
-    sim = Simulator()
+    checker = None
+    if config.validate:
+        # Imported lazily so unvalidated sweeps never load the checker.
+        from repro.validate import InvariantChecker
+
+        checker = InvariantChecker()
+    sim = Simulator(validate=checker)
     limiter, scenario = build_scenario(config, sim)
     scenario.run()
+    if checker is not None:
+        checker.finalize(traces=(scenario.trace,))
     return measure(config, limiter, scenario)

@@ -95,12 +95,21 @@ def _hash_sources(relative_paths: tuple[str, ...]) -> str:
     return _hash_sources_at(relative_paths, _SRC_ROOT)
 
 
-def scheme_fingerprint(scheme: str) -> str:
-    """Code fingerprint for one enforcement scheme's simulation outcome."""
+def scheme_fingerprint(scheme: str, validate: bool = False) -> str:
+    """Code fingerprint for one enforcement scheme's simulation outcome.
+
+    ``validate=True`` folds the invariant-checker sources into the hash:
+    validated runs produce byte-identical outcomes (the checker is a pure
+    observer), but a checker edit must still invalidate *validated* cache
+    entries — while never touching the unvalidated ones, so enabling
+    validation can't poison cached sweep results either way.
+    """
     extra = _SCHEME_SOURCES.get(scheme)
     if extra is None:
         # Unknown scheme: be conservative and hash every limiter/core file.
         extra = ("limiters", "core")
+    if validate:
+        extra = extra + ("validate",)
     return _hash_sources(_SHARED_SOURCES + extra)
 
 

@@ -36,12 +36,18 @@ class Simulator:
     ['b', 'a']
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(self, start_time: float = 0.0, *, validate: Any = None) -> None:
         self._now = float(start_time)
         self._heap: list[tuple[float, int, EventHandle]] = []
         self._seq = 0
         self._events_processed = 0
         self._running = False
+        #: Optional :class:`repro.validate.InvariantChecker`.  Components
+        #: (limiters, senders, middleboxes) self-register with it at
+        #: construction; when ``None`` (the default) nothing is wrapped
+        #: and the event loop is untouched — validation has literally no
+        #: disabled-path cost.
+        self.validator = validate
 
     @property
     def now(self) -> float:

@@ -1,0 +1,106 @@
+"""CLI for the cross-engine differential fuzzer.
+
+Examples
+--------
+Run the standard corpus (the CI acceptance gate)::
+
+    python -m repro.validate --fuzz 200 --seed 1
+
+Fan out over worker processes::
+
+    python -m repro.validate --fuzz 200 --seed 1 --jobs 8
+
+Re-run one generated case, or an explicit (minimized) repro::
+
+    python -m repro.validate --index 17 --seed 1
+    python -m repro.validate --case '{"index":17,...}'
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.validate.fuzz import (
+    CaseReport,
+    FuzzCase,
+    fuzz,
+    generate_case,
+    minimize,
+    run_case,
+)
+
+
+def _report_failure(report: CaseReport, *, shrink: bool = True) -> None:
+    case = report.case
+    print(f"case {case.index} FAILED:")
+    for message in report.violations:
+        print(f"  violation: {message}")
+    for message in report.divergences:
+        print(f"  divergence: {message}")
+    repro = minimize(case) if shrink else case
+    print(f"  repro: python -m repro.validate --case '{repro.to_json()}'")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.validate",
+        description="Invariant-checked cross-engine differential fuzzing.",
+    )
+    parser.add_argument(
+        "--fuzz", type=int, metavar="N", help="run cases 0..N-1"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1, help="corpus root seed (default 1)"
+    )
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=None,
+        help="worker processes for --fuzz (default: in-process)",
+    )
+    parser.add_argument(
+        "--index", type=int, default=None,
+        help="run only generated case INDEX",
+    )
+    parser.add_argument(
+        "--case", type=str, default=None,
+        help="run one explicit case from its JSON repro line",
+    )
+    parser.add_argument(
+        "--no-shrink", action="store_true",
+        help="report failing cases without minimizing them",
+    )
+    args = parser.parse_args(argv)
+
+    if args.case is not None:
+        report = run_case(FuzzCase.from_json(args.case))
+    elif args.index is not None:
+        report = run_case(generate_case(args.seed, args.index))
+    elif args.fuzz is not None:
+        if args.fuzz <= 0:
+            parser.error("--fuzz needs a positive case count")
+        failures, simulations = fuzz(args.fuzz, args.seed, jobs=args.jobs)
+        for failing in failures:
+            _report_failure(failing, shrink=not args.no_shrink)
+        violations = sum(len(f.violations) for f in failures)
+        divergences = sum(len(f.divergences) for f in failures)
+        print(
+            f"fuzz: {args.fuzz} cases, {simulations} simulations, "
+            f"{violations} violations, {divergences} divergences"
+        )
+        return 1 if failures else 0
+    else:
+        parser.error("nothing to do: pass --fuzz N, --index I or --case JSON")
+        return 2  # pragma: no cover - parser.error raises
+
+    if report.failed:
+        _report_failure(report, shrink=not args.no_shrink)
+        return 1
+    print(
+        f"case {report.case.index} OK: {report.simulations} simulations, "
+        "0 violations, 0 divergences"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,342 @@
+"""Cross-engine differential fuzzer.
+
+Draws seeded random scenarios (flow count, CC algorithm mix, RTTs in
+2-100 ms, enforced rates, policy trees) and runs each under the phantom
+schemes (pqp, bcpqp) x every phantom service discipline ({fluid,
+fluid-ref, quantum}), plus one rotating baseline scheme, all with the
+:class:`~repro.validate.checker.InvariantChecker` attached.
+
+Two comparison tiers:
+
+* **strict** — ``fluid`` vs ``fluid-ref`` are the same GPS process
+  computed two ways (the optimized virtual-time engine vs the reference
+  piecewise loop), so every *decision* must agree exactly: forwarded /
+  dropped packet and byte counts, per-queue drop maps, magic fills and
+  reclaims, goodput.  Only ``drained_bytes`` (a pure float accumulator)
+  gets a rounding tolerance.
+* **loose** — ``quantum`` batches MSS-sized phantom dequeues through a
+  DRR scheduler, so individual drop decisions legitimately differ from
+  the fluid idealization; only aggregate outcomes (goodput, forwarded
+  bytes) must land in a band around the fluid result.
+
+Any invariant violation or cross-engine divergence is reported with a
+minimized single-line repro::
+
+    python -m repro.validate --case '<json>'
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+
+from repro.policy.tree import Policy
+from repro.runner.aggregate import AggregateConfig, build_scenario
+from repro.sim.rng import RngFactory
+from repro.sim.simulator import Simulator
+from repro.units import MSS, mbps
+from repro.validate.checker import InvariantChecker
+from repro.workload.spec import FlowSpec
+
+#: Phantom service disciplines compared per scheme.
+ENGINES = ("fluid", "fluid-ref", "quantum")
+#: Schemes that have a phantom engine to differentiate.
+PHANTOM_SCHEMES = ("pqp", "bcpqp")
+#: Non-phantom schemes, rotated one per case (invariants only).
+BASELINES = ("shaper", "policer", "policer+", "fairpolicer", "shaper-fifo")
+#: CC algorithms drawn for fuzzed flows.
+CC_ALGOS = ("reno", "newreno", "cubic", "bbr", "vegas")
+
+#: Exact-comparison keys for the strict (fluid vs fluid-ref) tier.
+_STRICT_KEYS = (
+    "forwarded_packets",
+    "dropped_packets",
+    "forwarded_bytes",
+    "dropped_bytes",
+    "per_queue_drops",
+    "magic_fills",
+    "magic_reclaims",
+    "goodput_bytes",
+)
+#: drained_bytes tolerance (strict tier): rounding only.
+_DRAINED_REL = 1e-6
+_DRAINED_ABS = 1.0
+#: Loose-tier band: |quantum - fluid| <= REL * max + ABS, for goodput and
+#: forwarded bytes.  The quantum engine really does drop different
+#: packets (MSS-granular DRR vs the fluid idealization), which CC
+#: feedback then amplifies; the band only catches gross divergence
+#: (an engine starving or over-admitting a workload).
+_LOOSE_REL = 0.35
+_LOOSE_ABS = 50.0 * MSS
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One fuzzed scenario, as JSON-friendly primitives (picklable)."""
+
+    index: int
+    seed: int
+    ccs: tuple[str, ...]
+    rtts: tuple[float, ...]
+    starts: tuple[float, ...]
+    rate: float
+    horizon: float
+    warmup: float
+    policy_kind: str  # "fair" | "weighted" | "prioritized"
+    weights: tuple[float, ...] | None
+    priorities: tuple[int, ...] | None
+    baseline: str
+
+    def __post_init__(self) -> None:
+        # JSON round-trips tuples as lists; normalize back.
+        for name in ("ccs", "rtts", "starts", "weights", "priorities"):
+            value = getattr(self, name)
+            if value is not None and not isinstance(value, tuple):
+                object.__setattr__(self, name, tuple(value))
+
+    @property
+    def num_flows(self) -> int:
+        return len(self.ccs)
+
+    def policy(self) -> Policy:
+        if self.policy_kind == "weighted":
+            return Policy.weighted(list(self.weights))
+        if self.policy_kind == "prioritized":
+            return Policy.prioritized(
+                list(self.priorities), list(self.weights)
+            )
+        return Policy.fair(self.num_flows)
+
+    def specs(self) -> tuple[FlowSpec, ...]:
+        return tuple(
+            FlowSpec(slot=i, cc=cc, rtt=rtt, start=start)
+            for i, (cc, rtt, start) in enumerate(
+                zip(self.ccs, self.rtts, self.starts)
+            )
+        )
+
+    def config(self, scheme: str, service: str) -> AggregateConfig:
+        return AggregateConfig(
+            scheme=scheme,
+            specs=self.specs(),
+            rate=self.rate,
+            max_rtt=max(self.rtts),
+            horizon=self.horizon,
+            warmup=self.warmup,
+            seed=self.seed,
+            policy=self.policy(),
+            phantom_service=service,
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(dataclasses.asdict(self), separators=(",", ":"))
+
+    @staticmethod
+    def from_json(text: str) -> "FuzzCase":
+        data = json.loads(text)
+        return FuzzCase(**data)
+
+    # -- minimization edits -------------------------------------------
+
+    def drop_flow(self, index: int) -> "FuzzCase":
+        """Remove flow ``index`` (slots re-number to stay dense)."""
+        keep = [i for i in range(self.num_flows) if i != index]
+        take = lambda xs: tuple(xs[i] for i in keep) if xs else None
+        return dataclasses.replace(
+            self,
+            ccs=take(self.ccs),
+            rtts=take(self.rtts),
+            starts=take(self.starts),
+            weights=take(self.weights),
+            priorities=take(self.priorities),
+        )
+
+    def with_horizon(self, horizon: float) -> "FuzzCase":
+        return dataclasses.replace(self, horizon=horizon)
+
+
+def generate_case(seed: int, index: int) -> FuzzCase:
+    """Deterministically draw case ``index`` of the root-``seed`` corpus."""
+    rng = RngFactory(seed).stream("fuzz-case", index)
+    n = rng.randint(1, 5)
+    ccs = tuple(rng.choice(CC_ALGOS) for _ in range(n))
+    # §2 workloads: RTTs anywhere between datacenter-ish and long-haul.
+    rtts = tuple(rng.uniform(0.002, 0.1) for _ in range(n))
+    starts = tuple(rng.uniform(0.0, 0.2) for _ in range(n))
+    policy_kind = rng.choice(("fair", "weighted", "prioritized"))
+    weights = None
+    priorities = None
+    if policy_kind in ("weighted", "prioritized"):
+        weights = tuple(float(rng.randint(1, 4)) for _ in range(n))
+    if policy_kind == "prioritized":
+        # Mostly priority 0 so lower classes aren't always fully starved.
+        priorities = tuple(rng.choice((0, 0, 1)) for _ in range(n))
+    return FuzzCase(
+        index=index,
+        seed=rng.randint(1, 2**31),
+        ccs=ccs,
+        rtts=rtts,
+        starts=starts,
+        rate=mbps(rng.uniform(1.0, 15.0)),
+        horizon=rng.uniform(0.8, 1.5),
+        warmup=0.25,
+        policy_kind=policy_kind,
+        weights=weights,
+        priorities=priorities,
+        baseline=BASELINES[index % len(BASELINES)],
+    )
+
+
+@dataclass
+class CaseReport:
+    """Outcome of one fuzz case across all engines."""
+
+    case: FuzzCase
+    simulations: int
+    violations: list[str]
+    divergences: list[str]
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.violations or self.divergences)
+
+
+def _run_engine(case: FuzzCase, scheme: str, service: str) -> dict:
+    """One simulation with the checker attached; returns comparable
+    outcome numbers plus any invariant violations."""
+    checker = InvariantChecker(fail_fast=False)
+    sim = Simulator(validate=checker)
+    limiter, scenario = build_scenario(case.config(scheme, service), sim)
+    scenario.run()
+    checker.finalize(traces=(scenario.trace,))
+    trace = scenario.trace
+    goodput = sum(
+        size
+        for time, size in zip(trace.times, trace.sizes)
+        if time >= case.warmup
+    )
+    stats = limiter.stats
+    outcome = {
+        "forwarded_packets": stats.forwarded_packets,
+        "dropped_packets": stats.dropped_packets,
+        "forwarded_bytes": stats.forwarded_bytes,
+        "dropped_bytes": stats.dropped_bytes,
+        "per_queue_drops": dict(sorted(stats.per_queue_drops.items())),
+        "magic_fills": getattr(limiter, "magic_fills", 0),
+        "magic_reclaims": getattr(limiter, "magic_reclaims", 0),
+        "goodput_bytes": goodput,
+        "drained_bytes": (
+            limiter.queues.drained_bytes
+            if hasattr(limiter, "queues")
+            else 0.0
+        ),
+        "violations": list(checker.violations),
+    }
+    return outcome
+
+
+def _diff_strict(
+    scheme: str, ref: dict, opt: dict, divergences: list[str]
+) -> None:
+    """fluid-ref vs fluid: decisions must agree exactly."""
+    for key in _STRICT_KEYS:
+        if ref[key] != opt[key]:
+            divergences.append(
+                f"{scheme}: fluid vs fluid-ref diverge on {key}: "
+                f"{opt[key]!r} != {ref[key]!r}"
+            )
+    drained_ref, drained_opt = ref["drained_bytes"], opt["drained_bytes"]
+    bound = _DRAINED_ABS + _DRAINED_REL * max(drained_ref, drained_opt)
+    if abs(drained_ref - drained_opt) > bound:
+        divergences.append(
+            f"{scheme}: fluid vs fluid-ref drained_bytes diverge: "
+            f"{drained_opt!r} != {drained_ref!r} (bound {bound!r})"
+        )
+
+
+def _diff_loose(
+    scheme: str, fluid: dict, quantum: dict, divergences: list[str]
+) -> None:
+    """quantum vs fluid: aggregate outcomes must land in a band."""
+    for key in ("goodput_bytes", "forwarded_bytes"):
+        a, b = fluid[key], quantum[key]
+        bound = _LOOSE_ABS + _LOOSE_REL * max(a, b)
+        if abs(a - b) > bound:
+            divergences.append(
+                f"{scheme}: quantum vs fluid diverge on {key}: "
+                f"{b!r} vs {a!r} (bound {bound!r})"
+            )
+
+
+def run_case(case: FuzzCase) -> CaseReport:
+    """Run one case under every engine combination and diff the results."""
+    violations: list[str] = []
+    divergences: list[str] = []
+    simulations = 0
+    for scheme in PHANTOM_SCHEMES:
+        outcomes: dict[str, dict] = {}
+        for service in ENGINES:
+            outcome = _run_engine(case, scheme, service)
+            simulations += 1
+            outcomes[service] = outcome
+            for message in outcome["violations"]:
+                violations.append(f"{scheme}/{service}: {message}")
+        _diff_strict(scheme, outcomes["fluid-ref"], outcomes["fluid"], divergences)
+        _diff_loose(scheme, outcomes["fluid"], outcomes["quantum"], divergences)
+    baseline_outcome = _run_engine(case, case.baseline, "fluid")
+    simulations += 1
+    for message in baseline_outcome["violations"]:
+        violations.append(f"{case.baseline}: {message}")
+    return CaseReport(
+        case=case,
+        simulations=simulations,
+        violations=violations,
+        divergences=divergences,
+    )
+
+
+def minimize(case: FuzzCase) -> FuzzCase:
+    """Shrink a failing case: drop flows, then halve the horizon, keeping
+    it failing at every step."""
+
+    def fails(candidate: FuzzCase) -> bool:
+        return run_case(candidate).failed
+
+    current = case
+    shrunk = True
+    while shrunk and current.num_flows > 1:
+        shrunk = False
+        for i in range(current.num_flows):
+            trial = current.drop_flow(i)
+            if fails(trial):
+                current = trial
+                shrunk = True
+                break
+    for _ in range(3):
+        trial = current.with_horizon(current.horizon / 2.0)
+        if trial.horizon >= 2.0 * trial.warmup and fails(trial):
+            current = trial
+        else:
+            break
+    return current
+
+
+def fuzz(
+    count: int, seed: int, *, jobs: int | None = None
+) -> tuple[list[CaseReport], int]:
+    """Run ``count`` cases; returns (failing reports, total simulations).
+
+    ``jobs`` fans cases out over worker processes via the sweep runner's
+    pool (cases and reports are plain picklable dataclasses).
+    """
+    cases = [generate_case(seed, i) for i in range(count)]
+    if jobs is not None and jobs > 1:
+        from repro.runner.pool import run_tasks
+
+        reports = run_tasks(run_case, cases, jobs=jobs)
+    else:
+        reports = [run_case(case) for case in cases]
+    failures = [report for report in reports if report.failed]
+    simulations = sum(report.simulations for report in reports)
+    return failures, simulations

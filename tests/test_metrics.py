@@ -1,15 +1,17 @@
 """Tests for metrics: fairness, stats, series, throughput extraction."""
 
 import math
+import statistics
 
 import pytest
-from hypothesis import given, strategies as st
+from hypothesis import assume, given, strategies as st
 
 from repro.metrics.fairness import jain_index, weighted_jain_index
 from repro.metrics.series import TimeSeries, WindowedRate
 from repro.metrics.stats import cdf_points, mean, percentile, summarize
 from repro.metrics.throughput import (
     aggregate_throughput_series,
+    binned_bytes,
     burst_factor,
     flow_bytes,
     per_flow_throughput_series,
@@ -61,7 +63,11 @@ class TestJain:
 class TestStats:
     def test_mean(self):
         assert mean([1, 2, 3]) == 2.0
-        assert mean([]) == 0.0
+
+    def test_mean_empty_is_nan(self):
+        # A mean of nothing is not 0.0 — an empty sample must poison
+        # downstream arithmetic, not silently read as "zero throughput".
+        assert math.isnan(mean([]))
 
     def test_percentile_interpolates(self):
         assert percentile([1, 2, 3, 4], 50) == 2.5
@@ -91,7 +97,28 @@ class TestStats:
         s = summarize([1, 2, 3, 4, 5])
         assert s["mean"] == 3.0
         assert s["max"] == 5.0
-        assert summarize([])["p99"] == 0.0
+
+    def test_summarize_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1,
+                    max_size=60),
+           st.floats(min_value=0, max_value=100),
+           st.floats(min_value=0, max_value=100))
+    def test_percentile_monotone_in_p(self, values, p1, p2):
+        lo, hi = sorted((p1, p2))
+        span = max(abs(v) for v in values) + 1.0
+        assert percentile(values, lo) <= percentile(values, hi) + 1e-9 * span
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2,
+                    max_size=60),
+           st.integers(min_value=1, max_value=99))
+    def test_percentile_matches_statistics_quantiles(self, values, p):
+        expected = statistics.quantiles(values, n=100, method="inclusive")
+        span = max(abs(v) for v in values) + 1.0
+        assert percentile(values, p) == pytest.approx(
+            expected[p - 1], abs=1e-9 * span)
 
 
 class TestTimeSeries:
@@ -244,9 +271,70 @@ class TestBinBoundaryClamp:
            st.floats(min_value=1e-3, max_value=2.0))
     def test_in_range_timestamps_never_raise(self, t, window):
         end = 10.0 + window  # at least one full bin
+        # The record lands in exactly one bin — never an IndexError, and
+        # (since the partial-window fold) never silently excluded either.
+        assert sum(binned_bytes(
+            [rec(t)], window=window, start=0.0, end=end)) == 1500
+
+
+class TestAwkwardExtents:
+    """Regression: ``nbins = int((end - start) / window)`` FP-truncated.
+
+    0.7 / 0.1 computes to 6.999...9, so an extent that is exactly seven
+    windows silently produced six bins; and a genuinely fractional extent
+    (e.g. 0.6 / 0.25) silently excluded every record in the trailing
+    partial window."""
+
+    def test_whole_multiple_rounds_up(self):
+        # 0.7/0.1 is one ULP below 7.0 — must yield 7 bins, not 6.
         series = aggregate_throughput_series(
-            [rec(t)], window=window, start=0.0, end=end)
-        total = sum(v * window for v in series.values)
-        # The record lands in exactly one bin or (at the FP boundary of
-        # the measurement interval) is dropped — never an IndexError.
-        assert total == 0.0 or total == pytest.approx(1500)
+            [], window=0.1, start=0.0, end=0.7)
+        assert len(series.values) == 7
+        assert series.times[-1] == pytest.approx(0.6)
+
+    @pytest.mark.parametrize("window,start,end,expected", [
+        (0.1, 0.0, 0.7, 7),
+        (0.1, 0.0, 0.9, 9),
+        (0.25, 0.5, 2.0, 6),      # fig extents: exact multiples stay exact
+        (0.1, 0.3, 1.0, 7),       # (1.0-0.3)/0.1 again one ULP below 7
+        (0.25, 0.0, 0.6, 3),      # genuinely fractional: 2 whole + partial
+        (0.3, 0.0, 1.0, 4),       # 3 whole + a 0.1-wide partial
+    ])
+    def test_bin_counts(self, window, start, end, expected):
+        series = aggregate_throughput_series(
+            [], window=window, start=start, end=end)
+        assert len(series.values) == expected
+
+    def test_partial_window_records_counted(self):
+        # Records in [start + whole*window, end) used to vanish.
+        series = aggregate_throughput_series(
+            [rec(0.55)], window=0.25, start=0.0, end=0.6)
+        assert len(series.values) == 3
+        # The partial bin covers [0.5, 0.6): its rate divides by the true
+        # 0.1 s width, not the nominal 0.25 s window.
+        assert series.values[-1] == pytest.approx(1500 / 0.1)
+        assert sum(binned_bytes(
+            [rec(0.55)], window=0.25, start=0.0, end=0.6)) == 1500
+
+    def test_partial_window_rate_uses_true_width(self):
+        # A full-rate sender in the partial bin reads as its actual rate.
+        records = [rec(0.5 + 0.01 * i, size=100) for i in range(10)]
+        series = aggregate_throughput_series(
+            records, window=0.25, start=0.0, end=0.6)
+        assert series.values[-1] == pytest.approx(1000 / 0.1)
+
+    @given(st.lists(st.tuples(
+               st.floats(min_value=0.0, max_value=1.0),
+               st.integers(min_value=1, max_value=9000)),
+               max_size=40),
+           st.floats(min_value=1e-3, max_value=0.5),
+           st.floats(min_value=0.0, max_value=0.3),
+           st.floats(min_value=0.31, max_value=1.5))
+    def test_binned_bytes_conserved(self, packets, window, start, end):
+        assume(end - start >= window)
+        records = [rec(t, size=size) for t, size in packets]
+        in_range = sum(size for t, size in packets if start <= t < end)
+        acc = binned_bytes(records, window=window, start=start, end=end)
+        # Integer packet sizes accumulate exactly in floats: conservation
+        # is exact, for every window/extent combination.
+        assert sum(acc) == in_range

@@ -142,6 +142,29 @@ class TestResultCache:
         assert scheme_fingerprint("bcpqp") != scheme_fingerprint("policer")
         assert scheme_fingerprint("bcpqp") == scheme_fingerprint("bcpqp")
 
+    @pytest.mark.parametrize("scheme", ["bcpqp", "policer"])
+    def test_validated_fingerprint_is_distinct(self, scheme):
+        # Validated runs hash the checker sources on top of the scheme's:
+        # a checker edit invalidates validated cells only, and enabling
+        # validation can never reuse (or poison) an unvalidated entry.
+        assert scheme_fingerprint(scheme, validate=True) != \
+            scheme_fingerprint(scheme)
+        assert scheme_fingerprint(scheme, validate=True) == \
+            scheme_fingerprint(scheme, validate=True)
+
+    def test_validate_flag_separates_cache_keys(self):
+        # Belt and braces: even under an identical fingerprint, the
+        # ``validate`` field participates in the config repr and thus in
+        # the cache key.
+        from dataclasses import replace
+
+        fp = package_fingerprint()
+        config = _tiny_config()
+        validated = replace(config, validate=True)
+        assert validated.code_fingerprint() != config.code_fingerprint()
+        assert ResultCache.key("t", config, fp) != \
+            ResultCache.key("t", validated, fp)
+
     @pytest.mark.parametrize("scheme", ["pqp", "bcpqp"])
     def test_phantom_fingerprints_cover_drain_sources(self, scheme):
         # A drain rewrite must provably invalidate cached PQP/BC-PQP sweep

@@ -1,0 +1,67 @@
+"""Differential-fuzzer smoke tests (marked ``validate``).
+
+A small fixed-seed slice of the fuzz corpus, wired like the scaling
+smoke tests: deselected from the default tier-1 run (``-m "not
+validate"`` is implied by selecting none), selected in CI with
+``-m validate``.  The full acceptance gate is::
+
+    python -m repro.validate --fuzz 200 --seed 1
+"""
+
+import pytest
+
+from repro.validate.fuzz import (
+    BASELINES,
+    FuzzCase,
+    fuzz,
+    generate_case,
+    run_case,
+)
+
+pytestmark = pytest.mark.validate
+
+#: Small fixed budget: a few cases through all 7 engine combinations.
+SMOKE_CASES = 6
+SMOKE_SEED = 1
+
+
+class TestFuzzSmoke:
+    def test_corpus_slice_is_clean(self):
+        failures, simulations = fuzz(SMOKE_CASES, SMOKE_SEED)
+        assert simulations == SMOKE_CASES * 7
+        for failing in failures:
+            for message in failing.violations + failing.divergences:
+                print(message)
+        assert failures == []
+
+    def test_generation_is_deterministic(self):
+        a = generate_case(SMOKE_SEED, 3)
+        b = generate_case(SMOKE_SEED, 3)
+        assert a == b
+        assert generate_case(SMOKE_SEED + 1, 3) != a
+
+    def test_case_json_round_trip(self):
+        case = generate_case(SMOKE_SEED, 4)
+        assert FuzzCase.from_json(case.to_json()) == case
+
+    def test_baselines_rotate(self):
+        drawn = {generate_case(SMOKE_SEED, i).baseline
+                 for i in range(len(BASELINES))}
+        assert drawn == set(BASELINES)
+
+    def test_minimization_edits(self):
+        case = generate_case(SMOKE_SEED, 0)
+        while case.num_flows < 2:
+            case = generate_case(SMOKE_SEED, case.index + 1)
+        smaller = case.drop_flow(0)
+        assert smaller.num_flows == case.num_flows - 1
+        assert smaller.ccs == case.ccs[1:]
+        shorter = case.with_horizon(case.horizon / 2)
+        assert shorter.horizon == pytest.approx(case.horizon / 2)
+
+    def test_single_case_report_shape(self):
+        report = run_case(generate_case(SMOKE_SEED, 0))
+        assert report.simulations == 7
+        assert report.violations == []
+        assert report.divergences == []
+        assert not report.failed
