@@ -43,6 +43,7 @@ import bench_sim_core  # noqa: E402
 from repro.experiments import fig5_efficiency  # noqa: E402
 from repro.net.packet import FlowId, Packet  # noqa: E402
 from repro.net.sink import NullSink  # noqa: E402
+from repro.runner.supervisor import session_stats  # noqa: E402
 from repro.schemes import make_limiter  # noqa: E402
 from repro.sim.simulator import Simulator  # noqa: E402
 from repro.units import mbps, ms  # noqa: E402
@@ -196,7 +197,21 @@ def build_report(rounds: int) -> dict:
             "unit": "events/second",
             "workloads": simulator_events_per_second(rounds),
         },
+        # Supervised-sweep fault accounting for the cells this report
+        # ran: a bench result computed through retries is a flaky cell
+        # worth investigating even when the numbers look fine.
+        "sweep_faults": session_stats(),
     }
+
+
+def _print_sweep_faults() -> None:
+    stats = session_stats()
+    print(
+        f"  sweep      retries={stats['retries']} "
+        f"crashes={stats['crashes']} timeouts={stats['timeouts']} "
+        f"failed-cells={stats['failed_cells']} "
+        f"replayed={stats['replayed']}"
+    )
 
 
 def main(argv: list[str] | None = None) -> None:
@@ -265,6 +280,7 @@ def main(argv: list[str] | None = None) -> None:
         print(f"  hot path   {scheme:12s} {secs * 1e6:8.2f} us/pkt")
     for name, eps in report["simulator"]["workloads"].items():
         print(f"  sim        {name:12s} {eps:8.0f} events/s")
+    _print_sweep_faults()
     scaling = scaling_section(args.rounds)
     _write_scaling(args.scaling_output, args.rounds, scaling)
     _print_scaling(scaling)

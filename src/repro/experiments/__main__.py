@@ -81,6 +81,38 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
         help="attach the runtime invariant checker to every simulation "
         "(figure output is unchanged; a broken invariant aborts the run)",
     )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry failed/crashed/hung cells up to N times with "
+        "exponential backoff (enables the supervised pool: worker "
+        "crashes no longer abort the sweep)",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill and retry any simulation cell exceeding this wall "
+        "clock (enables the supervised pool)",
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="DIR",
+        default=None,
+        help="directory of write-ahead sweep journals; completed cells "
+        "are recorded as the sweep runs, and a re-run after an "
+        "interruption replays them instead of re-simulating "
+        "(output is byte-identical to an uninterrupted run)",
+    )
+    parser.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="abort the sweep on the first cell that exhausts its "
+        "retries (default: finish the remaining cells, then report)",
+    )
     return parser.parse_args(argv)
 
 
@@ -91,6 +123,21 @@ def main(argv: list[str] | None = None) -> None:
         from repro.experiments.common import set_validate
 
         set_validate(True)
+    supervised = (
+        args.retries is not None
+        or args.task_timeout is not None
+        or args.resume is not None
+        or args.fail_fast
+    )
+    if supervised:
+        from repro.experiments.common import set_execution
+
+        set_execution(
+            retries=args.retries,
+            task_timeout=args.task_timeout,
+            fail_fast=args.fail_fast,
+            journal_root=args.resume,
+        )
     jobs = default_jobs() if args.jobs == 0 else args.jobs
     try:
         cache = ResultCache(args.cache) if args.cache else None
@@ -109,7 +156,18 @@ def main(argv: list[str] | None = None) -> None:
     print("=" * 72)
     print(f"All experiments completed in {time.time() - grand_start:.1f} s.")
     if cache is not None:
-        print(f"[cache: {cache.hits} hits, {cache.misses} misses]")
+        corrupt = f", {cache.corrupt} corrupt" if cache.corrupt else ""
+        print(f"[cache: {cache.hits} hits, {cache.misses} misses{corrupt}]")
+    if supervised:
+        from repro.runner.supervisor import session_stats
+
+        stats = session_stats()
+        print(
+            f"[sweep: {stats['replayed']} replayed, "
+            f"{stats['retries']} retries, {stats['crashes']} crashes, "
+            f"{stats['timeouts']} timeouts, "
+            f"{stats['failed_cells']} failed cells]"
+        )
 
 
 if __name__ == "__main__":

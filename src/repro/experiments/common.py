@@ -11,7 +11,8 @@ examples and one-off cells that want the live limiter/scenario objects.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Sequence
+from pathlib import Path
+from typing import Callable, Sequence, TypeVar
 
 from repro.limiters.base import RateLimiter
 from repro.policy.tree import Policy
@@ -20,25 +21,34 @@ from repro.runner import (
     AggregateConfig,
     AggregateOutcome,
     ResultCache,
+    SweepJournal,
     run_tasks,
     simulate_aggregate,
 )
 from repro.runner.aggregate import build_scenario, measure
+from repro.runner.journal import grid_hash
+from repro.runner.pool import _task_name
 from repro.scenario import AggregateScenario, BottleneckSpec
 from repro.sim.simulator import Simulator
 from repro.units import to_mbps
 from repro.workload.spec import FlowSpec
+
+C = TypeVar("C")
+R = TypeVar("R")
 
 __all__ = [
     "MEASUREMENT_WINDOW",
     "AggregateConfig",
     "AggregateOutcome",
     "AggregateResult",
+    "ExecutionOptions",
     "ResultCache",
     "fmt_mbps",
     "print_table",
     "run_aggregate",
     "run_aggregates",
+    "run_cells",
+    "set_execution",
     "set_validate",
 ]
 
@@ -52,6 +62,93 @@ def set_validate(enabled: bool) -> None:
     """Force invariant checking on (or off) for subsequent sweeps."""
     global _FORCE_VALIDATE
     _FORCE_VALIDATE = bool(enabled)
+
+
+@dataclass(frozen=True)
+class ExecutionOptions:
+    """Session-wide fault-tolerance knobs (the CLI's ``--retries``,
+    ``--task-timeout``, ``--resume``, ``--fail-fast``).
+
+    With everything at its default the sweeps run through the plain
+    pool, byte-identical to the pre-supervisor implementation; setting
+    any knob routes every figure's cell sweep through the supervised
+    pool (:mod:`repro.runner.supervisor`).
+    """
+
+    retries: int | None = None
+    task_timeout: float | None = None
+    fail_fast: bool = False
+    #: Directory holding one write-ahead journal per sweep grid
+    #: (``--resume DIR``); interrupted sweeps replay completed cells.
+    journal_root: Path | None = None
+
+    @property
+    def supervised(self) -> bool:
+        return (
+            self.retries is not None
+            or self.task_timeout is not None
+            or self.fail_fast
+            or self.journal_root is not None
+        )
+
+
+_EXECUTION = ExecutionOptions()
+
+
+def set_execution(
+    *,
+    retries: int | None = None,
+    task_timeout: float | None = None,
+    fail_fast: bool = False,
+    journal_root: str | Path | None = None,
+) -> None:
+    """Configure fault-tolerant execution for subsequent sweeps."""
+    global _EXECUTION
+    _EXECUTION = ExecutionOptions(
+        retries=retries,
+        task_timeout=task_timeout,
+        fail_fast=fail_fast,
+        journal_root=Path(journal_root) if journal_root else None,
+    )
+
+
+def run_cells(
+    fn: Callable[[C], R],
+    cells: Sequence[C],
+    *,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+    fingerprint: str | Callable[[C], str] | None = None,
+) -> list[R]:
+    """Run any figure's cell sweep under the session execution options.
+
+    The figure modules route every grid through here so the CLI's
+    fault-tolerance knobs apply uniformly.  When a journal root is set,
+    each distinct grid gets its own journal file (named by the grid
+    hash), so ``--resume`` never mixes results across figures or
+    configurations.
+    """
+    options = _EXECUTION
+    if not options.supervised:
+        return run_tasks(fn, cells, jobs=jobs, cache=cache,
+                         fingerprint=fingerprint)
+    journal = None
+    if options.journal_root is not None:
+        digest = grid_hash(_task_name(fn), [repr(cell) for cell in cells])
+        journal = SweepJournal(
+            options.journal_root / f"sweep-{digest[:16]}.jsonl"
+        )
+    return run_tasks(
+        fn,
+        cells,
+        jobs=jobs,
+        cache=cache,
+        fingerprint=fingerprint,
+        retries=options.retries if options.retries is not None else 2,
+        task_timeout=options.task_timeout,
+        journal=journal,
+        fail_fast=options.fail_fast,
+    )
 
 
 @dataclass
@@ -126,7 +223,7 @@ def run_aggregates(
         configs = [
             c if c.validate else replace(c, validate=True) for c in configs
         ]
-    return run_tasks(
+    return run_cells(
         simulate_aggregate,
         configs,
         jobs=jobs,

@@ -24,6 +24,7 @@ from repro.experiments.common import (
     MEASUREMENT_WINDOW,
     ResultCache,
     print_table,
+    run_cells,
 )
 from repro.metrics.fairness import jain_index
 from repro.metrics.throughput import (
@@ -31,7 +32,6 @@ from repro.metrics.throughput import (
     per_slot_throughput_series,
 )
 from repro.policy.tree import Policy
-from repro.runner import run_tasks
 from repro.scenario import AggregateScenario
 from repro.sim.simulator import Simulator
 from repro.units import mbps, ms
@@ -141,7 +141,7 @@ def run(
     config = config or Config()
     result = Result()
     cells = grid(config)
-    outcomes = run_tasks(simulate_ecn_cell, cells, jobs=jobs, cache=cache)
+    outcomes = run_cells(simulate_ecn_cell, cells, jobs=jobs, cache=cache)
     for cell, outcome in zip(cells, outcomes):
         result.cells[(cell.scheme, cell.mark)] = outcome
     return result

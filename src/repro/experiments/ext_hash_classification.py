@@ -24,12 +24,12 @@ from repro.experiments.common import (
     MEASUREMENT_WINDOW,
     ResultCache,
     print_table,
+    run_cells,
 )
 from repro.metrics.fairness import jain_index
 from repro.metrics.throughput import per_slot_throughput_series
 from repro.net.packet import FlowId
 from repro.policy.tree import Policy
-from repro.runner import run_tasks
 from repro.scenario import AggregateScenario
 from repro.sim.simulator import Simulator
 from repro.units import mbps, ms
@@ -122,7 +122,7 @@ def run(
     config = config or Config()
     result = Result()
     cells = grid(config)
-    outcomes = run_tasks(simulate_hash_cell, cells, jobs=jobs, cache=cache)
+    outcomes = run_cells(simulate_hash_cell, cells, jobs=jobs, cache=cache)
     for cell, (jain, collisions) in zip(cells, outcomes):
         result.fairness_by_queues[cell.n_queues] = jain
         result.collisions_by_queues[cell.n_queues] = collisions

@@ -17,13 +17,17 @@ import random
 from dataclasses import dataclass, field
 
 from repro.cc.endpoint import FlowDemux
-from repro.experiments.common import MEASUREMENT_WINDOW, ResultCache, print_table
+from repro.experiments.common import (
+    MEASUREMENT_WINDOW,
+    ResultCache,
+    print_table,
+    run_cells,
+)
 from repro.metrics.fairness import jain_index
 from repro.metrics.stats import percentile
 from repro.metrics.throughput import per_slot_throughput_series
 from repro.net.packet import FlowId
 from repro.net.trace import Trace
-from repro.runner import run_tasks
 from repro.schemes import make_limiter
 from repro.sim.simulator import Simulator
 from repro.units import mbps, ms
@@ -212,7 +216,7 @@ def run_video(
 ) -> None:
     """7a: video session (slot 0) vs bulk download (slot 1)."""
     cells = video_grid(config)
-    outcomes = run_tasks(simulate_video_cell, cells, jobs=jobs, cache=cache)
+    outcomes = run_cells(simulate_video_cell, cells, jobs=jobs, cache=cache)
     for cell, outcome in zip(cells, outcomes):
         result.video[(cell.scheme, cell.service)] = outcome
 
@@ -226,7 +230,7 @@ def run_web(
 ) -> None:
     """7b: bulk download (slot 0, weight 4) vs web browsing (slot 1)."""
     cells = web_grid(config)
-    outcomes = run_tasks(simulate_web_cell, cells, jobs=jobs, cache=cache)
+    outcomes = run_cells(simulate_web_cell, cells, jobs=jobs, cache=cache)
     for cell, outcome in zip(cells, outcomes):
         result.web[cell.scheme] = outcome
 

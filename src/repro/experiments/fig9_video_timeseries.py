@@ -12,12 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cc.endpoint import FlowDemux
-from repro.experiments.common import ResultCache, print_table
+from repro.experiments.common import ResultCache, print_table, run_cells
 from repro.metrics.series import TimeSeries
 from repro.metrics.throughput import per_slot_throughput_series
 from repro.net.packet import FlowId
 from repro.net.trace import Trace
-from repro.runner import run_tasks
 from repro.schemes import make_limiter
 from repro.sim.simulator import Simulator
 from repro.units import mbps, ms, to_mbps
@@ -105,7 +104,7 @@ def run(
     config = config or Config()
     result = Result()
     cells = grid(config)
-    outcomes = run_tasks(simulate_scheme_cell, cells, jobs=jobs, cache=cache)
+    outcomes = run_cells(simulate_scheme_cell, cells, jobs=jobs, cache=cache)
     for cell, (series, share, rebuffer) in zip(cells, outcomes):
         result.video_series[cell.scheme] = series
         result.video_share[cell.scheme] = share

@@ -2,12 +2,20 @@
 process workers, with deterministic per-config seeding and an on-disk
 result cache keyed by config + code fingerprints.
 
-The three layers:
+The layers:
 
 * :mod:`repro.runner.pool` — generic ordered ``run_tasks`` map with a
   bit-for-bit serial fallback;
-* :mod:`repro.runner.cache` — pickle-per-key result store with
-  scheme-aware code fingerprints;
+* :mod:`repro.runner.supervisor` — fault-tolerant execution: supervised
+  per-cell workers (crash isolation), per-task timeouts, retry with
+  exponential backoff + jitter, a crash-loop circuit breaker that
+  degrades parallel → reduced workers → serial, and journaled resume;
+* :mod:`repro.runner.journal` — write-ahead per-cell completion journal
+  so an interrupted sweep replays only missing cells;
+* :mod:`repro.runner.faults` — deterministic chaos harness (seeded fault
+  plans: worker kills, hangs, transient exceptions, file corruption);
+* :mod:`repro.runner.cache` — checksummed pickle-per-key result store
+  with scheme-aware code fingerprints and corrupt-entry quarantine;
 * :mod:`repro.runner.aggregate` — the picklable config/outcome pair and
   worker entry point for the standard one-aggregate simulation.
 """
@@ -19,21 +27,45 @@ from repro.runner.aggregate import (
     simulate_aggregate,
 )
 from repro.runner.cache import (
+    CorruptEntry,
     ResultCache,
     package_fingerprint,
     scheme_fingerprint,
 )
+from repro.runner.faults import FaultPlan, TransientFault, corrupt_file
+from repro.runner.journal import SweepJournal
 from repro.runner.pool import default_jobs, run_sweep, run_tasks
+from repro.runner.supervisor import (
+    CellFailure,
+    RetryPolicy,
+    SweepError,
+    SweepReport,
+    SweepStats,
+    run_supervised,
+    session_stats,
+)
 
 __all__ = [
     "AggregateConfig",
     "AggregateOutcome",
+    "CellFailure",
+    "CorruptEntry",
+    "FaultPlan",
     "MEASUREMENT_WINDOW",
     "ResultCache",
+    "RetryPolicy",
+    "SweepError",
+    "SweepJournal",
+    "SweepReport",
+    "SweepStats",
+    "TransientFault",
+    "corrupt_file",
     "default_jobs",
     "package_fingerprint",
+    "run_supervised",
     "run_sweep",
     "run_tasks",
     "scheme_fingerprint",
+    "session_stats",
     "simulate_aggregate",
 ]

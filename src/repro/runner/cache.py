@@ -13,9 +13,15 @@ Cache entries are keyed by three components:
   while the shaper/policer cells of the same figure stay warm — re-running
   a figure after editing one scheme only re-simulates that scheme.
 
-Values are stored as one pickle file per key under the cache root; writes
-go through a temp file and ``os.replace`` so a crashed run never leaves a
-truncated entry behind.
+Values are stored as one checksummed pickle file per key under the cache
+root; writes go through a temp file and ``os.replace`` so a crashed run
+never leaves a truncated entry behind, and every read verifies a SHA-256
+digest over the payload.  An entry that fails verification anyway (torn
+write on a crashed filesystem, bit rot, a concurrent writer from an
+incompatible version) is **quarantined** — moved to
+``<root>/quarantine/`` for post-mortem inspection — and reported as a
+miss, so a corrupt cache degrades a sweep to recomputation instead of
+aborting it.
 """
 
 from __future__ import annotations
@@ -118,16 +124,64 @@ def package_fingerprint() -> str:
     return _hash_sources((".",))
 
 
+# -- checksummed pickle store (shared by the cache and the journal) -----
+
+#: Entry header: format magic, then the payload digest, then the payload.
+_PICKLE_MAGIC = b"repro-pickle/1\n"
+
+
+class CorruptEntry(Exception):
+    """A stored pickle failed verification (truncated, garbled, or an
+    unreadable payload)."""
+
+
+def write_checksummed_pickle(path: Path, value: Any) -> None:
+    """Atomically write ``value`` as a digest-protected pickle."""
+    payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    digest = hashlib.sha256(payload).hexdigest().encode()
+    tmp = path.with_suffix(f".tmp.{os.getpid()}")
+    with tmp.open("wb") as fh:
+        fh.write(_PICKLE_MAGIC + digest + b"\n" + payload)
+    os.replace(tmp, path)
+
+
+def read_checksummed_pickle(path: Path) -> Any:
+    """Load a digest-protected pickle; raises :class:`CorruptEntry` on any
+    mismatch (including entries written by pre-checksum versions)."""
+    with path.open("rb") as fh:
+        blob = fh.read()
+    if not blob.startswith(_PICKLE_MAGIC):
+        raise CorruptEntry(f"{path}: missing {_PICKLE_MAGIC!r} header")
+    body = blob[len(_PICKLE_MAGIC):]
+    digest, sep, payload = body.partition(b"\n")
+    if not sep:
+        raise CorruptEntry(f"{path}: truncated before payload")
+    if hashlib.sha256(payload).hexdigest().encode() != digest:
+        raise CorruptEntry(f"{path}: payload digest mismatch")
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:
+        # A valid digest but an unreadable payload means the entry was
+        # written by an incompatible code version; same remedy either way.
+        raise CorruptEntry(f"{path}: unpicklable payload ({exc})") from exc
+
+
 class ResultCache:
-    """A directory of pickled task results, keyed by config hash."""
+    """A directory of checksummed pickled task results, keyed by config
+    hash.  Entries that fail verification are quarantined and count as
+    misses (see the module docstring)."""
 
     _MISS = object()
+
+    #: Subdirectory corrupt entries are moved to (never globbed by reads).
+    QUARANTINE_DIR = "quarantine"
 
     def __init__(self, root: str | os.PathLike) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
 
     @staticmethod
     def key(task_name: str, config: Any, fingerprint: str) -> str:
@@ -138,25 +192,40 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.pkl"
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside for post-mortem inspection."""
+        target_dir = self.root / self.QUARANTINE_DIR
+        try:
+            target_dir.mkdir(exist_ok=True)
+            os.replace(path, target_dir / path.name)
+        except OSError:
+            # Quarantine is best-effort; an undeletable corrupt entry
+            # still reads as a miss on every load.
+            pass
+
     def load(self, key: str) -> tuple[bool, Any]:
-        """Return ``(hit, value)``; ``value`` is ``None`` on a miss."""
+        """Return ``(hit, value)``; ``value`` is ``None`` on a miss.
+
+        Corrupt/truncated entries are quarantined and counted in
+        ``self.corrupt`` (they are misses, never raised).
+        """
         path = self._path(key)
         try:
-            with path.open("rb") as fh:
-                value = pickle.load(fh)
-        except (OSError, pickle.PickleError, EOFError):
+            value = read_checksummed_pickle(path)
+        except CorruptEntry:
+            self.corrupt += 1
+            self.misses += 1
+            self._quarantine(path)
+            return False, None
+        except OSError:
             self.misses += 1
             return False, None
         self.hits += 1
         return True, value
 
     def store(self, key: str, value: Any) -> None:
-        """Persist ``value`` under ``key`` (atomic rename)."""
-        path = self._path(key)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        with tmp.open("wb") as fh:
-            pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp, path)
+        """Persist ``value`` under ``key`` (atomic rename, checksummed)."""
+        write_checksummed_pickle(self._path(key), value)
 
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""

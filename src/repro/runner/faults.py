@@ -1,0 +1,133 @@
+"""Deterministic fault injection for the supervised sweep runner.
+
+A :class:`FaultPlan` maps ``(cell index, attempt)`` to a fault kind and
+is applied *inside* the worker process right before the cell function
+runs, so the chaos tests exercise the exact failure modes production
+sweeps see:
+
+* ``"kill"`` — the worker SIGKILLs itself (models OOM kills / segfaults:
+  the process dies without a traceback or a result message);
+* ``"hang"`` — the worker sleeps far past any sane cell duration
+  (models a stuck simulation; recovered by the per-task timeout);
+* ``"raise"`` — the worker raises :class:`TransientFault` (models a
+  recoverable environment error, e.g. a flaky filesystem).
+
+Plans are plain frozen data: an explicit ``{index: [fault per attempt]}``
+table (:meth:`FaultPlan.explicit`) or a seeded random draw
+(:meth:`FaultPlan.seeded`).  Either way the same plan injects the same
+faults at the same (cell, attempt) coordinates on every run, so chaos
+tests assert exact retry accounting and byte-identical recovered output.
+
+:func:`corrupt_file` is the companion for at-rest faults: it truncates or
+garbles a cache/journal entry in place, deterministically.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Sequence
+
+__all__ = ["FAULT_KINDS", "FaultPlan", "TransientFault", "corrupt_file"]
+
+#: The injectable fault kinds, in the order :meth:`FaultPlan.seeded` draws.
+FAULT_KINDS = ("kill", "hang", "raise")
+
+
+class TransientFault(RuntimeError):
+    """An injected recoverable failure (the ``"raise"`` fault kind)."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic ``(cell index, attempt) -> fault kind`` table."""
+
+    #: ``(index, attempt) -> kind`` with kind in :data:`FAULT_KINDS`.
+    plan: Mapping[tuple[int, int], str] = field(default_factory=dict)
+    #: How long a ``"hang"`` fault sleeps; must exceed the supervisor's
+    #: task timeout for the hang to be observed as a timeout.
+    hang_seconds: float = 3600.0
+
+    def fault_for(self, index: int, attempt: int) -> str | None:
+        """The fault to inject for this attempt, or ``None``."""
+        return self.plan.get((index, attempt))
+
+    def apply(self, index: int, attempt: int) -> None:
+        """Inject the planned fault (if any) in the calling process."""
+        kind = self.fault_for(index, attempt)
+        if kind is None:
+            return
+        if kind == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif kind == "hang":
+            time.sleep(self.hang_seconds)
+        elif kind == "raise":
+            raise TransientFault(
+                f"injected transient fault (cell {index}, attempt {attempt})"
+            )
+        else:  # pragma: no cover - guarded by the constructors
+            raise ValueError(f"unknown fault kind {kind!r}")
+
+    @staticmethod
+    def explicit(
+        spec: Mapping[int, Sequence[str | None]], *, hang_seconds: float = 3600.0
+    ) -> "FaultPlan":
+        """Build a plan from ``{index: [fault for attempt 0, 1, ...]}``."""
+        plan: dict[tuple[int, int], str] = {}
+        for index, kinds in spec.items():
+            for attempt, kind in enumerate(kinds):
+                if kind is None:
+                    continue
+                if kind not in FAULT_KINDS:
+                    raise ValueError(f"unknown fault kind {kind!r}")
+                plan[(index, attempt)] = kind
+        return FaultPlan(plan=plan, hang_seconds=hang_seconds)
+
+    @staticmethod
+    def seeded(
+        seed: int,
+        count: int,
+        *,
+        rate: float = 0.2,
+        attempts: int = 1,
+        kinds: Sequence[str] = FAULT_KINDS,
+        hang_seconds: float = 3600.0,
+    ) -> "FaultPlan":
+        """Draw a random plan: each of the first ``attempts`` attempts of
+        each cell faults with probability ``rate``, kind uniform over
+        ``kinds``.  Same seed, same plan — the chaos harness's campaigns
+        are reproducible by construction."""
+        for kind in kinds:
+            if kind not in FAULT_KINDS:
+                raise ValueError(f"unknown fault kind {kind!r}")
+        rng = random.Random(seed)
+        plan: dict[tuple[int, int], str] = {}
+        for index in range(count):
+            for attempt in range(attempts):
+                if rng.random() < rate:
+                    plan[(index, attempt)] = rng.choice(tuple(kinds))
+        return FaultPlan(plan=plan, hang_seconds=hang_seconds)
+
+
+def corrupt_file(path: str | os.PathLike, *, mode: str = "truncate") -> None:
+    """Damage a file in place (for cache/journal corruption tests).
+
+    ``"truncate"`` cuts the file to half its length (a crashed writer);
+    ``"garble"`` flips a run of bytes in the middle (bit rot) without
+    changing the length.
+    """
+    target = Path(path)
+    data = target.read_bytes()
+    if mode == "truncate":
+        target.write_bytes(data[: len(data) // 2])
+    elif mode == "garble":
+        mid = len(data) // 2
+        span = max(1, min(16, len(data) - mid))
+        garbled = bytes((b ^ 0xFF) for b in data[mid : mid + span])
+        target.write_bytes(data[:mid] + garbled + data[mid + span :])
+    else:
+        raise ValueError(f"unknown corruption mode {mode!r}")

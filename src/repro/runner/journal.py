@@ -1,0 +1,197 @@
+"""Write-ahead sweep journal: resumable per-cell completion records.
+
+A :class:`SweepJournal` makes an interrupted sweep salvageable: every
+completed cell is durably recorded *before* the sweep moves on, so a
+``--resume``\\ d run replays only the missing cells and reproduces the
+uninterrupted output byte for byte.
+
+On-disk layout, for a journal at ``<path>``:
+
+* ``<path>`` — append-only JSONL.  Line 1 is the header
+  ``{"journal": 1, "task": ..., "total": N, "grid": <sha256>}`` binding
+  the file to one exact sweep grid (task name + every config's canonical
+  ``repr``).  Completion lines are ``{"done": i, "attempts": k,
+  "result": "<i>.pkl"}``; retry/crash/timeout events are also appended
+  (``{"event": kind, "index": i, "attempt": k, "detail": ...}``) so the
+  full fault history of a sweep survives with it.
+* ``<path>.d/`` — one checksummed pickle per completed cell (the same
+  digest-protected format as the result cache).
+
+Write-ahead ordering: the result pickle is written and atomically
+renamed first, then the completion line is appended, flushed and
+fsynced — a crash between the two leaves an orphan pickle (harmless; the
+cell reruns), never a journal line pointing at a missing/torn result.
+Torn trailing lines (a crash mid-append) and corrupt result pickles are
+skipped on load, so the journal itself can never make a resume worse
+than a fresh start.
+
+A journal whose header does not match the sweep it is bound to (the grid
+changed between runs) is rotated aside to ``<path>.stale`` rather than
+silently mixing incompatible results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import warnings
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.runner.cache import (
+    CorruptEntry,
+    read_checksummed_pickle,
+    write_checksummed_pickle,
+)
+
+__all__ = ["SweepJournal", "grid_hash"]
+
+_VERSION = 1
+
+
+def grid_hash(task_name: str, config_tokens: Sequence[str]) -> str:
+    """Stable identity of one sweep grid (task + every config's repr)."""
+    digest = hashlib.sha256(task_name.encode())
+    for token in config_tokens:
+        digest.update(b"\x00")
+        digest.update(token.encode())
+    return digest.hexdigest()
+
+
+class SweepJournal:
+    """Append-only completion journal for one sweep (see module doc)."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+        self.results_dir = Path(f"{self.path}.d")
+        self._fh = None
+        #: Cells already completed by a previous run: ``index -> result``.
+        self.results: dict[int, Any] = {}
+        #: How many stored results failed verification on load.
+        self.corrupt_results = 0
+        #: Fault events replayed from a previous run's journal lines.
+        self.prior_events = 0
+        self._bound = False
+
+    # -- binding / replay ---------------------------------------------
+
+    def bind(self, task_name: str, config_tokens: Sequence[str]) -> None:
+        """Attach the journal to one exact sweep grid and replay any
+        completed cells recorded by a previous (interrupted) run."""
+        if self._bound:
+            raise RuntimeError("journal already bound")
+        grid = grid_hash(task_name, config_tokens)
+        header = {
+            "journal": _VERSION,
+            "task": task_name,
+            "total": len(config_tokens),
+            "grid": grid,
+        }
+        lines = self._read_lines()
+        if lines and lines[0] != header:
+            self._rotate_stale()
+            lines = []
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.results_dir.mkdir(parents=True, exist_ok=True)
+        fresh = not lines
+        self._fh = self.path.open("a", encoding="utf-8")
+        if fresh:
+            self._append(header, fsync=True)
+        else:
+            self._replay(lines[1:], total=len(config_tokens))
+        self._bound = True
+
+    def _read_lines(self) -> list[dict]:
+        """Parse the existing journal, skipping torn/garbage lines."""
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return []
+        lines = []
+        for raw in text.splitlines():
+            try:
+                record = json.loads(raw)
+            except ValueError:
+                continue  # torn append from a crashed run
+            if isinstance(record, dict):
+                lines.append(record)
+        return lines
+
+    def _replay(self, records: list[dict], *, total: int) -> None:
+        for record in records:
+            if "event" in record:
+                self.prior_events += 1
+                continue
+            index = record.get("done")
+            if not isinstance(index, int) or not 0 <= index < total:
+                continue
+            result_file = self.results_dir / str(record.get("result", ""))
+            try:
+                self.results[index] = read_checksummed_pickle(result_file)
+            except (CorruptEntry, OSError):
+                # Torn or missing result: the cell simply reruns.
+                self.corrupt_results += 1
+                self.results.pop(index, None)
+
+    def _rotate_stale(self) -> None:
+        stale = Path(f"{self.path}.stale")
+        stale_dir = Path(f"{self.results_dir}.stale")
+        warnings.warn(
+            f"sweep journal {self.path} belongs to a different grid; "
+            f"rotating it to {stale} and starting fresh",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        shutil.rmtree(stale_dir, ignore_errors=True)
+        stale.unlink(missing_ok=True)
+        if self.results_dir.exists():
+            os.replace(self.results_dir, stale_dir)
+        if self.path.exists():
+            os.replace(self.path, stale)
+
+    # -- recording ----------------------------------------------------
+
+    def _append(self, record: dict, *, fsync: bool = False) -> None:
+        self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._fh.flush()
+        if fsync:
+            os.fsync(self._fh.fileno())
+
+    def record_done(self, index: int, result: Any, *, attempts: int = 1) -> None:
+        """Durably record one completed cell (write-ahead: result first,
+        then the fsynced completion line)."""
+        name = f"{index}.pkl"
+        write_checksummed_pickle(self.results_dir / name, result)
+        self._append(
+            {"done": index, "attempts": attempts, "result": name}, fsync=True
+        )
+        self.results[index] = result
+
+    def record_event(
+        self, kind: str, index: int, attempt: int, detail: str = ""
+    ) -> None:
+        """Record a non-terminal fault (retry, crash, timeout, error)."""
+        self._append(
+            {"event": kind, "index": index, "attempt": attempt,
+             "detail": detail}
+        )
+
+    # -- lifecycle ----------------------------------------------------
+
+    @property
+    def replayed(self) -> int:
+        """How many cells this run recovered from the journal."""
+        return len(self.results)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -13,12 +13,20 @@ function over a list of picklable configs, preserving input order.  The
 aggregate-simulation entry point lives in
 :mod:`repro.runner.aggregate`; application-style figures (video, web,
 ECN) submit their own cell functions.
+
+Fault tolerance: passing any of ``retries``/``task_timeout``/``journal``/
+``fail_fast``/``fault_plan`` routes the sweep through the supervised
+pool (:mod:`repro.runner.supervisor`) — worker crashes are isolated and
+retried with backoff, hung cells are timed out, and completed cells are
+journaled for ``--resume``.  Without those knobs the fast plain-pool
+path below is used, unchanged.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import warnings
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 from repro.runner.cache import ResultCache, package_fingerprint
@@ -37,18 +45,25 @@ def default_jobs() -> int:
         try:
             return max(1, int(env))
         except ValueError:
-            pass
+            warnings.warn(
+                f"ignoring invalid {JOBS_ENV}={env!r} (not an integer); "
+                "falling back to cpu_count()",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     return os.cpu_count() or 1
 
 
-def _pool_context() -> multiprocessing.context.BaseContext:
+def _pool_context(
+    method: str | None = None,
+) -> multiprocessing.context.BaseContext:
     # fork shares the already-imported package with workers (cheap start);
     # fall back to spawn elsewhere — cell functions are all importable
     # top-level functions, so both start methods work.
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context(
-        "fork" if "fork" in methods else "spawn"
-    )
+    if method is None:
+        methods = multiprocessing.get_all_start_methods()
+        method = "fork" if "fork" in methods else "spawn"
+    return multiprocessing.get_context(method)
 
 
 def _task_name(fn: Callable[..., Any]) -> str:
@@ -63,6 +78,12 @@ def run_tasks(
     cache: ResultCache | None = None,
     fingerprint: str | Callable[[C], str] | None = None,
     chunksize: int = 1,
+    retries: int | None = None,
+    task_timeout: float | None = None,
+    journal: Any | None = None,
+    fail_fast: bool = False,
+    fault_plan: Any | None = None,
+    start_method: str | None = None,
 ) -> list[R]:
     """Map ``fn`` over ``configs``, optionally in parallel and cached.
 
@@ -82,9 +103,52 @@ def run_tasks(
         Code-fingerprint component of the cache key: a string, a callable
         ``config -> str`` (e.g. scheme-aware), or ``None`` for the
         whole-package fingerprint.  Ignored without ``cache``.
+    retries, task_timeout, journal, fail_fast, fault_plan:
+        Fault-tolerance knobs; any of them being set routes the sweep
+        through :func:`repro.runner.supervisor.run_supervised` (crash
+        isolation, retry with backoff, per-cell wall-clock timeouts,
+        write-ahead journaling, deterministic fault injection).  If any
+        cell still fails after its retry budget, :class:`SweepError` is
+        raised *after* the remaining cells complete (or immediately with
+        ``fail_fast=True``) — completed cells stay journaled/cached.
+    start_method:
+        Force a multiprocessing start method (``"fork"``/``"spawn"``)
+        instead of the fork-preferred default.
 
     Results are returned in input order regardless of completion order.
     """
+    supervised = (
+        retries is not None
+        or task_timeout is not None
+        or journal is not None
+        or fault_plan is not None
+        or fail_fast
+    )
+    if supervised:
+        from repro.runner.supervisor import (
+            RetryPolicy,
+            SweepError,
+            run_supervised,
+        )
+
+        policy = RetryPolicy() if retries is None else RetryPolicy(retries=retries)
+        report = run_supervised(
+            fn,
+            configs,
+            jobs=jobs,
+            policy=policy,
+            task_timeout=task_timeout,
+            fail_fast=fail_fast,
+            journal=journal,
+            cache=cache,
+            fingerprint=fingerprint,
+            fault_plan=fault_plan,
+            start_method=start_method,
+        )
+        if report.failures:
+            raise SweepError(report)
+        return report.results
+
     config_list = list(configs)
     results: list[Any] = [None] * len(config_list)
     keys: dict[int, str] = {}
@@ -109,8 +173,18 @@ def run_tasks(
     if pending:
         todo = [config_list[i] for i in pending]
         if jobs is not None and jobs > 1:
-            with _pool_context().Pool(processes=jobs) as pool:
+            pool = _pool_context(start_method).Pool(processes=jobs)
+            try:
                 computed = pool.map(fn, todo, chunksize=chunksize)
+            except BaseException:
+                # KeyboardInterrupt (or any worker error) must not leave
+                # pool children alive behind the re-raised exception.
+                pool.terminate()
+                pool.join()
+                raise
+            else:
+                pool.close()
+                pool.join()
         else:
             computed = [fn(config) for config in todo]
         for i, value in zip(pending, computed):

@@ -28,17 +28,35 @@ from repro.validate.fuzz import (
     generate_case,
     minimize,
     run_case,
+    run_case_supervised,
 )
 
 
-def _report_failure(report: CaseReport, *, shrink: bool = True) -> None:
+def _report_failure(
+    report: CaseReport,
+    *,
+    shrink: bool = True,
+    task_timeout: float | None = None,
+) -> None:
     case = report.case
     print(f"case {case.index} FAILED:")
     for message in report.violations:
         print(f"  violation: {message}")
     for message in report.divergences:
         print(f"  divergence: {message}")
-    repro = minimize(case) if shrink else case
+    if report.crash:
+        print(f"  crash: {report.crash}")
+    if shrink and report.crash:
+        # A crashing case would take the minimizer down with it; shrink
+        # each candidate in a disposable supervised worker instead.
+        repro = minimize(
+            case,
+            runner=lambda c: run_case_supervised(c, task_timeout=task_timeout),
+        )
+    elif shrink:
+        repro = minimize(case)
+    else:
+        repro = case
     print(f"  repro: python -m repro.validate --case '{repro.to_json()}'")
 
 
@@ -55,7 +73,19 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--jobs", "-j", type=int, default=None,
-        help="worker processes for --fuzz (default: in-process)",
+        help="worker processes for --fuzz (default: in-process); with "
+        "workers, cases run under the supervised pool — a crashing case "
+        "becomes a reported finding instead of killing the campaign",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=1,
+        help="supervised-pool retries per case before a crash/hang is "
+        "reported as a finding (default 1; --jobs only)",
+    )
+    parser.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock limit per case; a hung case is killed and "
+        "reported as a finding (--jobs only)",
     )
     parser.add_argument(
         "--index", type=int, default=None,
@@ -78,14 +108,26 @@ def main(argv: list[str] | None = None) -> int:
     elif args.fuzz is not None:
         if args.fuzz <= 0:
             parser.error("--fuzz needs a positive case count")
-        failures, simulations = fuzz(args.fuzz, args.seed, jobs=args.jobs)
+        failures, simulations = fuzz(
+            args.fuzz,
+            args.seed,
+            jobs=args.jobs,
+            retries=args.retries,
+            task_timeout=args.task_timeout,
+        )
         for failing in failures:
-            _report_failure(failing, shrink=not args.no_shrink)
+            _report_failure(
+                failing,
+                shrink=not args.no_shrink,
+                task_timeout=args.task_timeout,
+            )
         violations = sum(len(f.violations) for f in failures)
         divergences = sum(len(f.divergences) for f in failures)
+        crashes = sum(1 for f in failures if f.crash)
         print(
             f"fuzz: {args.fuzz} cases, {simulations} simulations, "
-            f"{violations} violations, {divergences} divergences"
+            f"{violations} violations, {divergences} divergences, "
+            f"{crashes} crashes"
         )
         return 1 if failures else 0
     else:

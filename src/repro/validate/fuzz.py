@@ -30,6 +30,7 @@ from __future__ import annotations
 import dataclasses
 import json
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.policy.tree import Policy
 from repro.runner.aggregate import AggregateConfig, build_scenario
@@ -196,10 +197,15 @@ class CaseReport:
     simulations: int
     violations: list[str]
     divergences: list[str]
+    #: Infrastructure failure while running the case (worker killed by a
+    #: segfault/OOM, or hung past the task timeout) — itself a finding:
+    #: a scenario that crashes an engine is at least as interesting as
+    #: one that diverges.
+    crash: str | None = None
 
     @property
     def failed(self) -> bool:
-        return bool(self.violations or self.divergences)
+        return bool(self.violations or self.divergences or self.crash)
 
 
 def _run_engine(case: FuzzCase, scheme: str, service: str) -> dict:
@@ -296,12 +302,53 @@ def run_case(case: FuzzCase) -> CaseReport:
     )
 
 
-def minimize(case: FuzzCase) -> FuzzCase:
+def run_case_supervised(
+    case: FuzzCase, *, task_timeout: float | None = None
+) -> CaseReport:
+    """Run one case in a disposable supervised worker process.
+
+    A case that SIGKILLs its worker (segfault, OOM) or hangs past
+    ``task_timeout`` comes back as a :class:`CaseReport` with ``crash``
+    set instead of killing the calling process — this is what lets the
+    CLI *minimize* a crashing case safely.
+    """
+    from repro.runner.supervisor import RetryPolicy, run_supervised
+
+    report = run_supervised(
+        run_case,
+        [case],
+        jobs=1,
+        policy=RetryPolicy(retries=0),
+        task_timeout=task_timeout,
+    )
+    if report.results[0] is not None:
+        return report.results[0]
+    failure = report.failures[0]
+    return CaseReport(
+        case=case,
+        simulations=0,
+        violations=[],
+        divergences=[],
+        crash=f"{failure.kind}: {failure.detail}",
+    )
+
+
+def minimize(
+    case: FuzzCase,
+    runner: Callable[[FuzzCase], CaseReport] | None = None,
+) -> FuzzCase:
     """Shrink a failing case: drop flows, then halve the horizon, keeping
-    it failing at every step."""
+    it failing at every step.
+
+    ``runner`` evaluates candidates (default: in-process
+    :func:`run_case`); pass :func:`run_case_supervised` to shrink a case
+    that crashes its worker.
+    """
+    if runner is None:
+        runner = run_case
 
     def fails(candidate: FuzzCase) -> bool:
-        return run_case(candidate).failed
+        return runner(candidate).failed
 
     current = case
     shrunk = True
@@ -323,18 +370,51 @@ def minimize(case: FuzzCase) -> FuzzCase:
 
 
 def fuzz(
-    count: int, seed: int, *, jobs: int | None = None
+    count: int,
+    seed: int,
+    *,
+    jobs: int | None = None,
+    retries: int = 1,
+    task_timeout: float | None = None,
 ) -> tuple[list[CaseReport], int]:
     """Run ``count`` cases; returns (failing reports, total simulations).
 
-    ``jobs`` fans cases out over worker processes via the sweep runner's
-    pool (cases and reports are plain picklable dataclasses).
+    ``jobs`` fans cases out over the **supervised** pool (cases and
+    reports are plain picklable dataclasses): a case that crashes its
+    worker (segfault/OOM) or hangs past ``task_timeout`` is retried
+    ``retries`` times and, if it keeps failing, reported as a *finding*
+    (a ``CaseReport`` with ``crash`` set) rather than killing the whole
+    campaign.
     """
     cases = [generate_case(seed, i) for i in range(count)]
     if jobs is not None and jobs > 1:
-        from repro.runner.pool import run_tasks
+        from repro.runner.supervisor import RetryPolicy, run_supervised
 
-        reports = run_tasks(run_case, cases, jobs=jobs)
+        sweep = run_supervised(
+            run_case,
+            cases,
+            jobs=jobs,
+            policy=RetryPolicy(retries=retries, backoff_base=0.1),
+            task_timeout=task_timeout,
+        )
+        failed_by_index = {f.index: f for f in sweep.failures}
+        reports = []
+        for i, report in enumerate(sweep.results):
+            if report is None:
+                failure = failed_by_index.get(i)
+                detail = (
+                    f"{failure.kind}: {failure.detail}"
+                    if failure is not None
+                    else "worker failed without detail"
+                )
+                report = CaseReport(
+                    case=cases[i],
+                    simulations=0,
+                    violations=[],
+                    divergences=[],
+                    crash=detail,
+                )
+            reports.append(report)
     else:
         reports = [run_case(case) for case in cases]
     failures = [report for report in reports if report.failed]

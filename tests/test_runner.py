@@ -79,6 +79,54 @@ class TestRunTasks:
         for jobs in (None, 0, 1):
             assert run_tasks(_square, [5], jobs=jobs) == [25]
 
+    def test_keyboard_interrupt_terminates_pool_children(self, monkeypatch):
+        # Ctrl-C during a parallel sweep must not leave worker processes
+        # alive behind the re-raised KeyboardInterrupt.
+        from repro.runner import pool as pool_module
+
+        events = []
+
+        class FakePool:
+            def map(self, fn, todo, chunksize=1):
+                raise KeyboardInterrupt
+
+            def terminate(self):
+                events.append("terminate")
+
+            def close(self):
+                events.append("close")
+
+            def join(self):
+                events.append("join")
+
+        class FakeContext:
+            def Pool(self, processes):
+                events.append(f"pool({processes})")
+                return FakePool()
+
+        monkeypatch.setattr(
+            pool_module, "_pool_context", lambda method=None: FakeContext()
+        )
+        with pytest.raises(KeyboardInterrupt):
+            run_tasks(_square, [1, 2, 3], jobs=2)
+        assert events == ["pool(2)", "terminate", "join"]
+
+
+class TestDefaultJobs:
+    def test_valid_env_value_wins(self, monkeypatch):
+        from repro.runner.pool import JOBS_ENV, default_jobs
+
+        monkeypatch.setenv(JOBS_ENV, "3")
+        assert default_jobs() == 3
+
+    def test_invalid_env_value_warns_and_names_it(self, monkeypatch):
+        from repro.runner.pool import JOBS_ENV, default_jobs
+
+        monkeypatch.setenv(JOBS_ENV, "banana")
+        with pytest.warns(RuntimeWarning, match="banana"):
+            jobs = default_jobs()
+        assert jobs >= 1  # fell back to cpu_count()
+
 
 class TestDeterminism:
     def test_same_config_bit_identical_across_runs(self):
@@ -95,6 +143,18 @@ class TestDeterminism:
         parallel = run_tasks(simulate_aggregate, grid, jobs=2)
         assert len(serial) == len(parallel) == 4
         for s, p in zip(serial, parallel):
+            assert _outcome_key(s) == _outcome_key(p)
+
+    def test_spawn_context_grid_identical_to_serial(self):
+        # Spawn workers re-import the package instead of inheriting the
+        # parent's memory; cell results must not depend on that.
+        grid = _tiny_fig4_grid()
+        serial = run_tasks(simulate_aggregate, grid)
+        spawned = run_tasks(
+            simulate_aggregate, grid, jobs=2, start_method="spawn"
+        )
+        assert len(spawned) == len(serial)
+        for s, p in zip(serial, spawned):
             assert _outcome_key(s) == _outcome_key(p)
 
 
