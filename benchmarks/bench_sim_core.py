@@ -6,14 +6,28 @@ a fan of interleaved timers (deep heap, realistic sift costs), and a
 cancellation-heavy mix (lazy-deletion sweep cost).  ``benchmarks/report.py``
 converts the same workloads into an events/sec figure for
 ``BENCH_fig5.json``.
+
+``run_eventloop_cell`` is the event-engine section's workload: one
+saturated fig5 cell run end-to-end, reporting the engine's own counters
+(events/packet, heap pushes/packet, peak heap size) plus wall us/packet.
+``report.py`` turns it into ``BENCH_eventloop.json`` and its ``--check``
+regression gate.
 """
 
+import dataclasses
+import time
+
 from repro.sim.simulator import Simulator
+from repro.sim.timer import Timer
 
 CHAIN_EVENTS = 20_000
 FAN_TIMERS = 64
 FAN_EVENTS = 20_000
 CANCEL_EVENTS = 20_000
+RESCHEDULE_EVENTS = 20_000
+
+#: The schemes measured by the event-engine section (fig5 grid order).
+EVENTLOOP_SCHEMES = ("bcpqp", "pqp", "shaper", "policer")
 
 
 def run_timer_chain(n: int = CHAIN_EVENTS) -> int:
@@ -68,6 +82,55 @@ def run_cancel_mix(n: int = CANCEL_EVENTS) -> int:
     return sim.events_processed
 
 
+def run_soft_reschedule(n: int = RESCHEDULE_EVENTS) -> int:
+    """The per-ACK pattern soft timers optimize: a timer pushed out on
+    every event, firing only occasionally.  Under cancel+push engines
+    this is 2 heap ops per tick; a soft timer makes it ~0."""
+    sim = Simulator()
+    remaining = n
+    rto = Timer(sim, lambda: None)
+
+    def tick() -> None:
+        nonlocal remaining
+        remaining -= 1
+        rto.schedule_after(1.0)  # pushed out again before it ever fires
+        if remaining:
+            sim.schedule(1e-4, tick)
+
+    sim.schedule(0.0, tick)
+    sim.run(until=n * 1e-4 + 1e-3)
+    return n - remaining
+
+
+def run_eventloop_cell(scheme: str, horizon: float | None = None) -> dict:
+    """One saturated fig5 cell end-to-end, instrumented by the engine's
+    own counters.  Deterministic except for ``wall_seconds``."""
+    from repro.experiments import fig5_efficiency
+    from repro.runner.aggregate import build_scenario
+
+    config = fig5_efficiency.Config()
+    if horizon is not None:
+        config = dataclasses.replace(config, horizon=horizon)
+    cell = fig5_efficiency.grid(config)[
+        list(fig5_efficiency.SCHEMES).index(scheme)
+    ]
+    sim = Simulator()
+    limiter, scenario = build_scenario(cell, sim)
+    start = time.perf_counter()
+    scenario.run()
+    wall = time.perf_counter() - start
+    packets = limiter.stats.arrived_packets
+    return {
+        "arrived_packets": packets,
+        "events_per_packet": round(sim.events_processed / packets, 4),
+        "heap_pushes_per_packet": round(sim.heap_pushes / packets, 4),
+        "peak_heap_size": sim.peak_heap_size,
+        "cancelled_backlog_hwm": sim.cancelled_backlog_hwm,
+        "wall_seconds": wall,
+        "us_per_packet": round(wall / packets * 1e6, 2),
+    }
+
+
 def test_sim_timer_chain(benchmark):
     assert benchmark(run_timer_chain) == CHAIN_EVENTS
 
@@ -79,3 +142,7 @@ def test_sim_timer_fan(benchmark):
 
 def test_sim_cancel_mix(benchmark):
     assert benchmark(run_cancel_mix) == CANCEL_EVENTS
+
+
+def test_sim_soft_reschedule(benchmark):
+    assert benchmark(run_soft_reschedule) == RESCHEDULE_EVENTS

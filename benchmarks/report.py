@@ -13,10 +13,22 @@ three sections:
 A second file, ``BENCH_scaling.json``, records the ``scaling`` section:
 wall seconds/packet and modeled cycles/packet for PQP and BC-PQP at
 N ∈ {1, 10, 100, 1000} aggregates — the Figure 5 flatness claim applied
-to our own hot path.  ``--check`` runs only that section and exits
-non-zero if seconds/packet at N=1000 exceeds ``--check-multiple``
-(default 3.0) times the N=10 value: the regression guard for the
-virtual-time drain staying O(log N).
+to our own hot path.
+
+A third file, ``BENCH_eventloop.json``, records the event-engine
+section: each fig5 saturated cell run end-to-end with the simulator's
+own counters (events/packet, heap pushes/packet, peak heap size,
+cancelled-backlog high-water mark) plus wall us/packet, and the ratios
+against the pinned pre-overhaul engine (``PRE_PR_EVENTLOOP``).
+
+``--check`` runs only those two sections and exits non-zero if (a)
+seconds/packet at N=1000 exceeds ``--check-multiple`` (default 3.0)
+times the N=10 value — the guard for the virtual-time drain staying
+O(log N) — or (b) the event-engine gates fail: heap pushes/packet must
+stay >= 1.5x below the pre-overhaul engine on bcpqp (>= 1.3x elsewhere),
+events/packet and peak heap must not creep back up, and bcpqp wall
+us/packet must stay >= --check-min-speedup (default 1.3) times faster
+than the pinned pre-overhaul reference.
 
 The JSON is the stable interface for tracking this repository's
 performance over time; the pytest-benchmark suite asserts the qualitative
@@ -54,6 +66,42 @@ BATCH = 1000
 #: The scaling sweep: phantom schemes across aggregate counts.
 SCALING_SCHEMES = ("pqp", "bcpqp")
 SCALING_NS = (1, 10, 100, 1000)
+
+#: Pre-overhaul engine metrics on the fig5 saturated workload (default
+#: 12 s horizon), measured at the commit preceding the event-engine
+#: overhaul on the reference dev box.  The per-packet counters are
+#: machine-independent (deterministic simulation); ``us_per_packet`` is
+#: the reference wall clock the speedup ratio is computed against.
+PRE_PR_EVENTLOOP = {
+    "bcpqp": {
+        "arrived_packets": 35550,
+        "events_per_packet": 2.2632,
+        "heap_pushes_per_packet": 3.6866,
+        "peak_heap_size": 856,
+        "us_per_packet": 123.8,
+    },
+    "pqp": {
+        "arrived_packets": 40324,
+        "events_per_packet": 2.1983,
+        "heap_pushes_per_packet": 3.5110,
+        "peak_heap_size": 2350,
+        "us_per_packet": 145.2,
+    },
+    "shaper": {
+        "arrived_packets": 28250,
+        "events_per_packet": 2.9604,
+        "heap_pushes_per_packet": 4.7295,
+        "peak_heap_size": 867,
+        "us_per_packet": 257.6,
+    },
+    "policer": {
+        "arrived_packets": 37827,
+        "events_per_packet": 2.3015,
+        "heap_pushes_per_packet": 3.5965,
+        "peak_heap_size": 654,
+        "us_per_packet": 147.2,
+    },
+}
 
 
 def modeled_cycles() -> dict[str, float]:
@@ -161,12 +209,87 @@ def check_scaling(scaling: dict, multiple: float) -> list[str]:
     return failures
 
 
+def eventloop_section(horizon: float | None = None) -> dict:
+    """The event-engine section: fig5 cells measured by engine counters.
+
+    One run per scheme suffices — every number except ``wall_seconds``
+    comes from the deterministic simulation itself, and reading the
+    counters afterwards costs the timed run nothing.
+    """
+    schemes = {}
+    for scheme in bench_sim_core.EVENTLOOP_SCHEMES:
+        cell = bench_sim_core.run_eventloop_cell(scheme, horizon=horizon)
+        pre = PRE_PR_EVENTLOOP.get(scheme)
+        if pre is not None and horizon is None:
+            cell["heap_push_reduction_vs_pre_pr"] = round(
+                pre["heap_pushes_per_packet"] / cell["heap_pushes_per_packet"],
+                3,
+            )
+            cell["speedup_vs_pre_pr"] = round(
+                pre["us_per_packet"] / cell["us_per_packet"], 3
+            )
+        schemes[scheme] = cell
+    return {
+        "unit": "per-packet engine counters + wall us/packet",
+        "workload": "fig5 saturated cells"
+        + ("" if horizon is None else f" (horizon={horizon})"),
+        "pre_pr_reference": PRE_PR_EVENTLOOP,
+        "schemes": schemes,
+    }
+
+
+def check_eventloop(section: dict, *, min_speedup: float = 1.3) -> list[str]:
+    """Regression gates for the event-engine overhaul.
+
+    Deterministic gates (exact on any machine): bcpqp heap pushes/packet
+    reduced >= 1.5x vs the pre-overhaul engine (>= 1.3x for the other
+    schemes), events/packet within 5% of the old engine (soft-timer
+    stale wakes may add a little), peak heap at most a quarter of the
+    old cancel-bloated depth.  Wall gate (reference-machine clock): bcpqp
+    us/packet at least ``min_speedup`` x faster than the pinned pre-PR
+    number.
+    """
+    failures = []
+    for scheme, cell in section["schemes"].items():
+        pre = PRE_PR_EVENTLOOP.get(scheme)
+        if pre is None:
+            continue
+        floor = 1.5 if scheme == "bcpqp" else 1.3
+        push_ratio = pre["heap_pushes_per_packet"] / cell["heap_pushes_per_packet"]
+        if push_ratio < floor:
+            failures.append(
+                f"{scheme}: heap pushes/packet reduced only "
+                f"{push_ratio:.3f}x vs pre-overhaul (need >= {floor}x)"
+            )
+        if cell["events_per_packet"] > 1.05 * pre["events_per_packet"]:
+            failures.append(
+                f"{scheme}: events/packet {cell['events_per_packet']:.4f} "
+                f"regressed past 1.05x the pre-overhaul "
+                f"{pre['events_per_packet']:.4f}"
+            )
+        if cell["peak_heap_size"] > pre["peak_heap_size"] / 4:
+            failures.append(
+                f"{scheme}: peak heap {cell['peak_heap_size']} above a "
+                f"quarter of the pre-overhaul {pre['peak_heap_size']}"
+            )
+    bcpqp = section["schemes"].get("bcpqp")
+    if bcpqp is not None:
+        speedup = PRE_PR_EVENTLOOP["bcpqp"]["us_per_packet"] / bcpqp["us_per_packet"]
+        if speedup < min_speedup:
+            failures.append(
+                f"bcpqp: us/packet speedup {speedup:.3f}x vs the pinned "
+                f"pre-overhaul reference below the {min_speedup}x gate"
+            )
+    return failures
+
+
 def simulator_events_per_second(rounds: int) -> dict[str, float]:
     """Median events/sec for the event-loop microbenchmark workloads."""
     workloads = {
         "timer_chain": bench_sim_core.run_timer_chain,
         "timer_fan": bench_sim_core.run_timer_fan,
         "cancel_mix": bench_sim_core.run_cancel_mix,
+        "soft_reschedule": bench_sim_core.run_soft_reschedule,
     }
     out = {}
     for name, fn in workloads.items():
@@ -236,30 +359,51 @@ def main(argv: list[str] | None = None) -> None:
         help="where to write the scaling-section JSON",
     )
     parser.add_argument(
+        "--eventloop-output",
+        default=str(Path(__file__).parent / "BENCH_eventloop.json"),
+        help="where to write the event-engine-section JSON",
+    )
+    parser.add_argument(
         "--check", action="store_true",
-        help="run only the scaling sweep and fail if seconds/packet at "
-        "N=1000 exceeds --check-multiple times the N=10 value",
+        help="run only the scaling sweep and event-engine section; fail "
+        "if seconds/packet at N=1000 exceeds --check-multiple times the "
+        "N=10 value or any event-engine gate regresses",
     )
     parser.add_argument(
         "--check-multiple", type=float, default=3.0,
         help="allowed N=1000 / N=10 seconds-per-packet ratio (default 3.0)",
+    )
+    parser.add_argument(
+        "--check-min-speedup", type=float, default=1.3,
+        help="required bcpqp us/packet speedup vs the pinned pre-overhaul "
+        "engine reference (default 1.3)",
     )
     args = parser.parse_args(argv)
     if args.rounds < 1:
         parser.error("--rounds must be at least 1")
     if args.check_multiple <= 0:
         parser.error("--check-multiple must be positive")
+    if args.check_min_speedup <= 0:
+        parser.error("--check-min-speedup must be positive")
 
     if args.check:
         scaling = scaling_section(args.rounds)
         _write_scaling(args.scaling_output, args.rounds, scaling)
         _print_scaling(scaling)
         failures = check_scaling(scaling, args.check_multiple)
+        eventloop = eventloop_section()
+        _write_eventloop(args.eventloop_output, eventloop)
+        _print_eventloop(eventloop)
+        failures += check_eventloop(eventloop, min_speedup=args.check_min_speedup)
         if failures:
             for failure in failures:
                 print(f"FAIL {failure}")
             raise SystemExit(1)
-        print(f"scaling check passed (multiple={args.check_multiple})")
+        print(
+            f"scaling + eventloop checks passed "
+            f"(multiple={args.check_multiple}, "
+            f"min-speedup={args.check_min_speedup})"
+        )
         return
 
     report = build_report(args.rounds)
@@ -284,6 +428,37 @@ def main(argv: list[str] | None = None) -> None:
     scaling = scaling_section(args.rounds)
     _write_scaling(args.scaling_output, args.rounds, scaling)
     _print_scaling(scaling)
+    eventloop = eventloop_section()
+    _write_eventloop(args.eventloop_output, eventloop)
+    _print_eventloop(eventloop)
+
+
+def _write_eventloop(path: str, section: dict) -> None:
+    document = {
+        "schema": "repro-bench-eventloop/1",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "eventloop": section,
+    }
+    Path(path).write_text(json.dumps(document, indent=2) + "\n")
+    print(f"wrote {path}")
+
+
+def _print_eventloop(section: dict) -> None:
+    for scheme, cell in section["schemes"].items():
+        push_ratio = cell.get("heap_push_reduction_vs_pre_pr")
+        speedup = cell.get("speedup_vs_pre_pr")
+        ratios = ""
+        if push_ratio is not None:
+            ratios = f"  pushes -{push_ratio:.2f}x  wall +{speedup:.2f}x"
+        print(
+            f"  eventloop  {scheme:8s} "
+            f"{cell['heap_pushes_per_packet']:7.3f} pushes/pkt  "
+            f"{cell['events_per_packet']:7.3f} ev/pkt  "
+            f"peak {cell['peak_heap_size']:>5d}  "
+            f"{cell['us_per_packet']:8.2f} us/pkt{ratios}"
+        )
 
 
 def _write_scaling(path: str, rounds: int, scaling: dict) -> None:

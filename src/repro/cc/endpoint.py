@@ -16,8 +16,8 @@ from typing import Callable
 from repro.cc.base import AckSample, CongestionControl
 from repro.net.packet import FlowId, Packet
 from repro.net.sink import PacketSink
-from repro.sim.events import EventHandle
 from repro.sim.simulator import Simulator
+from repro.sim.timer import Timer
 from repro.units import MSS
 
 #: RFC 6298 constants.
@@ -119,17 +119,20 @@ class TcpSender:
         self._rto = _INITIAL_RTO
         if initial_rtt is not None and initial_rtt > 0:
             self._update_rto(initial_rtt)
-        self._rto_timer: EventHandle | None = None
+        # All three send-side timers are soft-reschedule Timers: the
+        # per-ACK rearm just overwrites a deadline float instead of a
+        # cancel + O(log H) heap push (see repro.sim.timer).
+        self._rto_timer = Timer(sim, self._on_rto)
         # Tail-loss-probe timer (RFC 8985 TLP): fires ~2 SRTT after the
         # last ACK while data is outstanding, retransmitting the highest
         # un-SACKed packet.  The probe's SACK feedback lets RACK repair a
         # whole-flight loss in ~2 RTTs instead of waiting for the 200 ms+
         # RTO — the behaviour of the Linux stacks in the paper's testbed.
-        self._tlp_timer: EventHandle | None = None
+        self._tlp_timer = Timer(sim, self._on_tlp)
 
         # Pacing state.
         self._next_send_time = 0.0
-        self._pacing_timer: EventHandle | None = None
+        self._pacing_timer = Timer(sim, self._on_pacing_timer)
 
         # Per-packet send records: seq -> (sent_time, delivered_at_send,
         # delivered_time_at_send, retransmit).  Used for delivery-rate
@@ -196,9 +199,20 @@ class TcpSender:
     # ------------------------------------------------------------------
 
     def receive(self, packet: Packet) -> None:
-        """Process an incoming ACK."""
-        if not packet.is_ack or self.done:
+        """Process an incoming ACK.
+
+        The sender is the ACK's terminal sink, so the packet is recycled
+        into the ACK free list on the way out (even on early exits).
+        """
+        if not packet.is_ack:
             return
+        try:
+            if not self.done:
+                self._process_ack(packet)
+        finally:
+            Packet.recycle_ack(packet)
+
+    def _process_ack(self, packet: Packet) -> None:
         now = self._sim.now
         ack = packet.ack_next
         old_una = self.snd_una
@@ -420,9 +434,9 @@ class TcpSender:
                 seq = self.snd_nxt
                 self.snd_nxt += 1
                 self._transmit(seq, retransmit=False)
-            if self._rto_timer is None:
+            if not self._rto_timer.active:
                 self._restart_rto_timer()
-            if self._tlp_timer is None:
+            if not self._tlp_timer.active:
                 self._rearm_tlp_timer()
 
     def _may_send_new(self) -> bool:
@@ -448,14 +462,13 @@ class TcpSender:
         self._egress.receive(packet)
 
     def _arm_pacing_timer(self) -> None:
-        if self._pacing_timer is not None:
+        if self._pacing_timer.active:
             return
-        self._pacing_timer = self._sim.schedule_at(
-            max(self._next_send_time, self._sim.now), self._on_pacing_timer
+        self._pacing_timer.schedule_at(
+            max(self._next_send_time, self._sim.now)
         )
 
     def _on_pacing_timer(self) -> None:
-        self._pacing_timer = None
         self._try_send()
 
     # ------------------------------------------------------------------
@@ -498,15 +511,12 @@ class TcpSender:
     def _rearm_tlp_timer(self) -> None:
         if self._srtt is None:
             return
-        if self._tlp_timer is not None:
-            self._tlp_timer.cancel()
         # Linux arms the loss probe in place of the RTO, so the probe always
         # fires first and the RTO remains the backstop behind it.
         pto = max(min(_TLP_SRTT_FACTOR * self._srtt, 0.9 * self._rto), 1e-3)
-        self._tlp_timer = self._sim.schedule(pto, self._on_tlp)
+        self._tlp_timer.schedule_after(pto)
 
     def _on_tlp(self) -> None:
-        self._tlp_timer = None
         if self.done or self.snd_nxt <= self.snd_una:
             return
         # Probe with the highest-sequenced un-SACKed outstanding packet;
@@ -528,17 +538,15 @@ class TcpSender:
         self._restart_rto_timer()
 
     def _restart_rto_timer(self) -> None:
-        self._cancel_rto_timer()
         if self.snd_nxt > self.snd_una:
-            self._rto_timer = self._sim.schedule(self._rto, self._on_rto)
+            self._rto_timer.schedule_after(self._rto)
+        else:
+            self._rto_timer.cancel()
 
     def _cancel_rto_timer(self) -> None:
-        if self._rto_timer is not None:
-            self._rto_timer.cancel()
-            self._rto_timer = None
+        self._rto_timer.cancel()
 
     def _on_rto(self) -> None:
-        self._rto_timer = None
         if self.done or self.snd_nxt <= self.snd_una:
             return
         now = self._sim.now
@@ -566,13 +574,9 @@ class TcpSender:
 
     def _complete(self, now: float) -> None:
         self.completed_at = now
-        self._cancel_rto_timer()
-        if self._tlp_timer is not None:
-            self._tlp_timer.cancel()
-            self._tlp_timer = None
-        if self._pacing_timer is not None:
-            self._pacing_timer.cancel()
-            self._pacing_timer = None
+        self._rto_timer.cancel()
+        self._tlp_timer.cancel()
+        self._pacing_timer.cancel()
         self._send_info.clear()
         self._sacked.clear()
         self._lost_set.clear()

@@ -22,6 +22,7 @@ from repro.limiters.costs import Op
 from repro.net.packet import Packet
 from repro.policy.tree import Policy
 from repro.sim.simulator import Simulator
+from repro.sim.timer import Timer
 from repro.units import MSS, ms
 
 
@@ -86,14 +87,14 @@ class BCPQP(PQP):
         # threshold even when a queue stops receiving packets entirely —
         # that immediacy is why BC-PQP reallocates a finished flow's share
         # faster than a plain PQP with huge queues (§4 "Why do we need to
-        # drain the magic packets?").
-        self._sweep_timer = sim.schedule(self.period, self._on_window_sweep)
+        # drain the magic packets?").  The callback binds the instance
+        # attribute so a validate-wrapped _on_window_sweep is honoured.
+        self._sweep_timer = Timer(sim, lambda: self._on_window_sweep())
+        self._sweep_timer.schedule_after(self.period)
 
     def stop(self) -> None:
         """Cancel the periodic window sweep (for teardown in tests)."""
-        if self._sweep_timer is not None:
-            self._sweep_timer.cancel()
-            self._sweep_timer = None
+        self._sweep_timer.cancel()
 
     def expected_window_bytes(self, queue: int) -> float:
         """``X_i = r*_i x T`` under the current active set."""
@@ -184,4 +185,4 @@ class BCPQP(PQP):
         for qi in range(self.num_queues):
             self._maybe_roll_window(qi, now)
         self.cost.charge(Op.ALU, 2 * self.num_queues)
-        self._sweep_timer = self._sim.schedule(self.period, self._on_window_sweep)
+        self._sweep_timer.schedule_after(self.period)

@@ -113,6 +113,13 @@ def _parse_args(argv: list[str] | None) -> argparse.Namespace:
         help="abort the sweep on the first cell that exhausts its "
         "retries (default: finish the remaining cells, then report)",
     )
+    parser.add_argument(
+        "--profile",
+        choices=("cprofile",),
+        default=None,
+        help="profile the run (forces serial execution) and print a "
+        "cumulative-time table of the hottest functions afterwards",
+    )
     return parser.parse_args(argv)
 
 
@@ -139,20 +146,38 @@ def main(argv: list[str] | None = None) -> None:
             journal_root=args.resume,
         )
     jobs = default_jobs() if args.jobs == 0 else args.jobs
+    if args.profile:
+        # Worker processes would escape the profiler; run in-process.
+        jobs = None
     try:
         cache = ResultCache(args.cache) if args.cache else None
     except OSError as exc:
         raise SystemExit(f"error: cannot use cache dir {args.cache!r}: {exc}")
     selected = set(args.figures) or set(_NAMES)
     grand_start = time.time()
-    for label, name, module in _MODULES:
-        if name not in selected:
-            continue
-        print("=" * 72)
-        start = time.time()
-        module.main(jobs=jobs, cache=cache)
-        print(f"[{label} done in {time.time() - start:.1f} s]")
-        print()
+    profiler = None
+    if args.profile == "cprofile":
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+    try:
+        for label, name, module in _MODULES:
+            if name not in selected:
+                continue
+            print("=" * 72)
+            start = time.time()
+            module.main(jobs=jobs, cache=cache)
+            print(f"[{label} done in {time.time() - start:.1f} s]")
+            print()
+    finally:
+        if profiler is not None:
+            profiler.disable()
+            import pstats
+
+            print("=" * 72)
+            print("cProfile: top 30 functions by cumulative time")
+            pstats.Stats(profiler).sort_stats("cumulative").print_stats(30)
     print("=" * 72)
     print(f"All experiments completed in {time.time() - grand_start:.1f} s.")
     if cache is not None:

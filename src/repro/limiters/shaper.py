@@ -122,7 +122,9 @@ class Shaper(RateLimiter):
         # per-packet costs of a shaper.
         self.cost.charge(Op.PKT_FETCH, 1)
         self.cost.charge(Op.TIMER, 1)
-        self._sim.schedule(packet.size / self._rate, self._emit, packet)
+        # Fire-and-forget: dequeue completions are never cancelled, so
+        # they ride the simulator's pooled-handle path.
+        self._sim.call_after(packet.size / self._rate, self._emit, packet)
 
     def _emit(self, packet: Packet) -> None:
         self._forward(packet)

@@ -46,6 +46,12 @@ class Link:
         self._queue: deque[Packet] = deque()
         self._queued_bytes = 0
         self._busy = False
+        # Coalesced propagation FIFO (same scheme as Pipe: constant delay
+        # + in-order exit means N in-flight packets need only 1 heap
+        # entry, with per-packet reserved seqs pinning the old engine's
+        # exact firing order).
+        self._prop: deque[tuple[float, int, Packet]] = deque()
+        self._prop_armed = False
 
         self.forwarded_packets = 0
         self.forwarded_bytes = 0
@@ -85,14 +91,22 @@ class Link:
     def _transmit(self, packet: Packet) -> None:
         self._busy = True
         tx_time = packet.size / self._rate
-        self._sim.schedule(tx_time, self._on_tx_done, packet)
+        # Serialization completions are strictly sequential and never
+        # cancelled, so they ride the pooled fire-and-forget path.
+        self._sim.call_after(tx_time, self._on_tx_done, packet)
 
     def _on_tx_done(self, packet: Packet) -> None:
         self.forwarded_packets += 1
         self.forwarded_bytes += packet.size
         # Propagation: the packet pops out of the far end after `delay`.
         if self._delay > 0:
-            self._sim.schedule(self._delay, self._sink.receive, packet)
+            sim = self._sim
+            time = sim.now + self._delay
+            seq = sim.reserve_seq()
+            self._prop.append((time, seq, packet))
+            if not self._prop_armed:
+                self._prop_armed = True
+                sim.call_at_reserved(time, seq, self._deliver)
         else:
             self._sink.receive(packet)
         if self._queue:
@@ -101,3 +115,24 @@ class Link:
             self._transmit(nxt)
         else:
             self._busy = False
+
+    def _deliver(self) -> None:
+        prop = self._prop
+        sim = self._sim
+        now = sim.now
+        receive = self._sink.receive
+        heap = sim._heap
+        while True:
+            receive(prop.popleft()[2])
+            if not prop:
+                self._prop_armed = False
+                return
+            time, seq, _packet = prop[0]
+            if time <= now and (
+                not heap
+                or heap[0][0] > time
+                or (heap[0][0] == time and heap[0][1] > seq)
+            ):
+                continue
+            sim.call_at_reserved(time, seq, self._deliver)
+            return

@@ -11,6 +11,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 from enum import Enum
+from typing import ClassVar
 
 from repro.units import ACK_SIZE, MSS
 
@@ -78,7 +79,15 @@ class Packet:
         exclusive, in packet numbers) above ``ack_next``, lowest first —
         the receiver's out-of-order blocks, as Linux TCP reports them.
     uid:
-        Globally unique packet id, handy for tracing.
+        Globally unique packet id, handy for tracing.  A pooled ACK gets
+        a *fresh* uid on every reissue, so uid semantics are unchanged by
+        pooling.
+    generation:
+        Reissue count for pooled ACK packets (0 for a fresh allocation).
+        Holding a packet across its recycle point is a bug; comparing
+        generations detects the resurrection (exercised under
+        ``--validate`` and by the pool property tests).  Excluded from
+        ``repr``/``eq`` so pooling is invisible to traces and digests.
     """
 
     flow: FlowId
@@ -95,6 +104,16 @@ class Packet:
     ecn_echo: bool = False
     sack: tuple[tuple[int, int], ...] = ()
     uid: int = field(default_factory=lambda: next(_packet_ids))
+    generation: int = field(default=0, repr=False, compare=False)
+    _in_pool: bool = field(default=False, repr=False, compare=False)
+
+    #: Free list for ACK packets — the one allocation per data packet the
+    #: receiver cannot avoid.  ACKs terminate synchronously at the sender
+    #: (nothing queues or retains them), so :meth:`recycle_ack` at the
+    #: point of consumption is sound.  Bounded so a pathological burst
+    #: cannot pin memory.
+    _ack_pool: ClassVar[list["Packet"]] = []
+    _ACK_POOL_MAX: ClassVar[int] = 512
 
     @classmethod
     def data(
@@ -130,7 +149,32 @@ class Packet:
         sack: tuple[tuple[int, int], ...] = (),
         ecn_echo: bool = False,
     ) -> "Packet":
-        """Construct a pure ACK for ``flow`` (sent receiver → sender)."""
+        """Construct a pure ACK for ``flow`` (sent receiver → sender).
+
+        Draws from the ACK free list when possible; a reissued packet is
+        fully re-initialised (fresh uid included) and bumps its
+        ``generation``.
+        """
+        pool = cls._ack_pool
+        if pool:
+            pkt = pool.pop()
+            pkt._in_pool = False
+            pkt.generation += 1
+            pkt.flow = flow
+            pkt.kind = PacketKind.ACK
+            pkt.seq = 0
+            pkt.size = ACK_SIZE
+            pkt.sent_at = sent_at
+            pkt.ack_next = ack_next
+            pkt.echo_ts = echo_ts
+            pkt.echo_retransmit = echo_retransmit
+            pkt.retransmit = False
+            pkt.ecn_capable = False
+            pkt.ce = False
+            pkt.ecn_echo = ecn_echo
+            pkt.sack = sack
+            pkt.uid = next(_packet_ids)
+            return pkt
         return cls(
             flow=flow,
             kind=PacketKind.ACK,
@@ -143,6 +187,20 @@ class Packet:
             sack=sack,
             ecn_echo=ecn_echo,
         )
+
+    @classmethod
+    def recycle_ack(cls, packet: "Packet") -> None:
+        """Return a consumed ACK to the free list.
+
+        Only pure ACKs are pooled; recycling the same packet twice is a
+        no-op (the ``_in_pool`` latch), so sinks may recycle defensively.
+        """
+        if packet.kind is not PacketKind.ACK or packet._in_pool:
+            return
+        pool = cls._ack_pool
+        if len(pool) < cls._ACK_POOL_MAX:
+            packet._in_pool = True
+            pool.append(packet)
 
     @property
     def is_data(self) -> bool:

@@ -3,9 +3,23 @@
 Used for per-flow propagation delays (the reproduction's stand-in for
 ``netem`` latency injection) and for the ACK return path, which in the
 paper's testbed does not traverse the rate-limiting middlebox.
+
+Delivery is **coalesced**: because the delay is constant, arrivals leave
+in arrival order, so the pipe keeps one internal FIFO and at most one
+outstanding simulator event, re-armed for the new head after each drain.
+N in-flight packets cost 1 heap entry instead of N.
+
+Byte-identity with the per-packet-event engine is preserved by sequence
+reservation: every arrival claims a global insertion seq (exactly where
+the old engine consumed one by scheduling), the armed event carries the
+head packet's reserved seq, and the drain loop hands delivery back to
+the heap whenever another event's (time, seq) would have interleaved —
+so the global firing order is bit-for-bit the old engine's.
 """
 
 from __future__ import annotations
+
+from collections import deque
 
 from repro.net.packet import Packet
 from repro.net.sink import PacketSink
@@ -26,16 +40,56 @@ class Pipe:
         self.name = name
         self.forwarded_packets = 0
         self.forwarded_bytes = 0
+        #: In-flight packets as (deliver_time, reserved_seq, packet);
+        #: arrival order == delivery order (constant delay).
+        self._pending: deque[tuple[float, int, Packet]] = deque()
+        self._armed = False
 
     @property
     def delay(self) -> float:
         """One-way delay in seconds."""
         return self._delay
 
+    @property
+    def in_flight(self) -> int:
+        """Packets currently traversing the pipe."""
+        return len(self._pending)
+
     def receive(self, packet: Packet) -> None:
         self.forwarded_packets += 1
         self.forwarded_bytes += packet.size
         if self._delay > 0:
-            self._sim.schedule(self._delay, self._sink.receive, packet)
+            sim = self._sim
+            time = sim.now + self._delay
+            seq = sim.reserve_seq()
+            self._pending.append((time, seq, packet))
+            if not self._armed:
+                self._armed = True
+                sim.call_at_reserved(time, seq, self._deliver)
         else:
             self._sink.receive(packet)
+
+    def _deliver(self) -> None:
+        """Deliver the head, then drain in-order packets inline for as
+        long as no other heap event would have fired between them."""
+        pending = self._pending
+        sim = self._sim
+        now = sim.now
+        receive = self._sink.receive
+        heap = sim._heap
+        while True:
+            receive(pending.popleft()[2])
+            if not pending:
+                self._armed = False
+                return
+            time, seq, _packet = pending[0]
+            if time <= now and (
+                not heap
+                or heap[0][0] > time
+                or (heap[0][0] == time and heap[0][1] > seq)
+            ):
+                # The next pending packet is exactly the event the heap
+                # would fire next — deliver it without the heap round-trip.
+                continue
+            sim.call_at_reserved(time, seq, self._deliver)
+            return

@@ -4,10 +4,16 @@ The engine is deliberately tiny: a binary-heap event queue with a stable
 tie-break, a monotonically advancing clock, and cancellable timers.  All
 higher layers (links, TCP endpoints, rate limiters) are plain callback-driven
 objects that hold a reference to the :class:`~repro.sim.simulator.Simulator`.
+
+Hot-path machinery lives in two layers on top of the heap: soft-reschedule
+:class:`~repro.sim.timer.Timer` objects (deadline updates without heap
+traffic) and the fire-and-forget ``call_after``/``call_at`` pooled-handle
+path (zero allocations per per-packet event).
 """
 
 from repro.sim.events import EventHandle
 from repro.sim.rng import RngFactory
-from repro.sim.simulator import Simulator
+from repro.sim.simulator import SimulationError, Simulator
+from repro.sim.timer import Timer
 
-__all__ = ["EventHandle", "RngFactory", "Simulator"]
+__all__ = ["EventHandle", "RngFactory", "SimulationError", "Simulator", "Timer"]

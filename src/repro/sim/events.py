@@ -12,9 +12,26 @@ class EventHandle:
     discards it when it reaches the top of the heap.  This keeps ``cancel``
     O(1), which matters because retransmission timers are rescheduled on
     every ACK.
+
+    Handles issued by the fire-and-forget ``Simulator.call_after`` /
+    ``call_at`` paths are **pooled**: after the event fires, the handle
+    goes back on the simulator's free list and is reissued for a later
+    event.  ``generation`` increments each time a pooled handle is
+    reissued, so any stale reference (a handle held across its own
+    firing) is detectable by comparing generations — resurrecting a
+    consumed handle is a bug the pool's property tests pin down.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = (
+        "time",
+        "seq",
+        "callback",
+        "args",
+        "cancelled",
+        "generation",
+        "pooled",
+        "owner",
+    )
 
     def __init__(
         self,
@@ -22,20 +39,34 @@ class EventHandle:
         seq: int,
         callback: Callable[..., None],
         args: tuple[Any, ...],
+        owner: Any = None,
     ) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        #: Reissue count for pooled handles (0 for a fresh allocation).
+        self.generation = 0
+        #: True when the handle belongs to the simulator's free-list pool
+        #: (fire-and-forget events); pooled handles cannot be cancelled.
+        self.pooled = False
+        #: The owning simulator, notified on cancel so its live-event
+        #: counter stays exact.
+        self.owner = owner
 
     def cancel(self) -> None:
         """Mark the event as cancelled; it will never fire."""
+        if self.cancelled:
+            return
         self.cancelled = True
         # Drop references early so cancelled timers don't pin objects alive
         # while they sink through the heap.
         self.callback = _noop
         self.args = ()
+        owner = self.owner
+        if owner is not None:
+            owner._note_cancelled()
 
     @property
     def active(self) -> bool:

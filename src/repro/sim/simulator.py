@@ -5,7 +5,9 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable
 
-from repro.sim.events import EventHandle
+from repro.sim.events import EventHandle, _noop
+
+_INF = float("inf")
 
 
 class SimulationError(RuntimeError):
@@ -25,6 +27,25 @@ class Simulator:
     saturated run.  ``seq`` is unique, so the handle itself is never
     compared.
 
+    Two scheduling tiers keep the hot path allocation-free:
+
+    * :meth:`schedule` / :meth:`schedule_at` return a fresh cancellable
+      :class:`EventHandle` the caller may retain — the general-purpose
+      path.
+    * :meth:`call_after` / :meth:`call_at` are **fire-and-forget**: they
+      return nothing, cannot be cancelled, and draw their handles from a
+      free-list pool that recycles each handle the moment its event has
+      fired (per-packet link/pipe events use this path).  Reissued
+      handles bump :attr:`EventHandle.generation` so a stale reference
+      is detectable.
+
+    Engine telemetry (all O(1) to maintain): :attr:`pending` counts only
+    *live* events, :attr:`cancelled_backlog` /
+    :attr:`cancelled_backlog_hwm` track lazily-deleted tuples still
+    sinking through the heap, and :attr:`heap_pushes` /
+    :attr:`peak_heap_size` feed the event-engine benchmark section
+    (``BENCH_eventloop.json``).
+
     Example
     -------
     >>> sim = Simulator()
@@ -42,12 +63,26 @@ class Simulator:
         self._seq = 0
         self._events_processed = 0
         self._running = False
+        # Live/cancelled accounting (see the class docstring).
+        self._live = 0
+        self._cancelled_backlog = 0
+        self._cancelled_hwm = 0
+        self._heap_pushes = 0
+        self._peak_heap = 0
+        # Free list for fire-and-forget handles (call_after/call_at and
+        # soft-timer wakes).  Exactly one heap entry references a pooled
+        # handle at any time, so recycling at pop is sound.
+        self._handle_pool: list[EventHandle] = []
         #: Optional :class:`repro.validate.InvariantChecker`.  Components
         #: (limiters, senders, middleboxes) self-register with it at
         #: construction; when ``None`` (the default) nothing is wrapped
         #: and the event loop is untouched — validation has literally no
         #: disabled-path cost.
         self.validator = validate
+        if validate is not None:
+            attach = getattr(validate, "attach_simulator", None)
+            if attach is not None:
+                attach(self)
 
     @property
     def now(self) -> float:
@@ -61,35 +96,179 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of events still in the heap (including cancelled ones)."""
+        """Number of *live* events awaiting their turn (cancelled tuples
+        still sinking through the heap are excluded; see
+        :attr:`cancelled_backlog`)."""
+        return self._live
+
+    @property
+    def heap_size(self) -> int:
+        """Raw heap length, live plus cancelled-but-undiscarded tuples."""
         return len(self._heap)
+
+    @property
+    def cancelled_backlog(self) -> int:
+        """Cancelled events still occupying heap slots (lazy deletion)."""
+        return self._cancelled_backlog
+
+    @property
+    def cancelled_backlog_hwm(self) -> int:
+        """High-water mark of :attr:`cancelled_backlog` over the run —
+        how badly cancel-churn ever bloated the heap."""
+        return self._cancelled_hwm
+
+    @property
+    def heap_pushes(self) -> int:
+        """Total heap pushes so far (the event engine's dominant cost)."""
+        return self._heap_pushes
+
+    @property
+    def peak_heap_size(self) -> int:
+        """Largest heap length ever reached."""
+        return self._peak_heap
+
+    @property
+    def handle_pool_size(self) -> int:
+        """Free-list depth of recycled fire-and-forget handles."""
+        return len(self._handle_pool)
+
+    def _note_cancelled(self) -> None:
+        """Bookkeeping hook called by :meth:`EventHandle.cancel`."""
+        self._live -= 1
+        backlog = self._cancelled_backlog + 1
+        self._cancelled_backlog = backlog
+        if backlog > self._cancelled_hwm:
+            self._cancelled_hwm = backlog
 
     def schedule(
         self, delay: float, callback: Callable[..., None], *args: Any
     ) -> EventHandle:
         """Schedule ``callback(*args)`` to fire ``delay`` seconds from now."""
-        if delay < 0:
-            raise SimulationError(f"negative delay {delay!r}")
+        if not 0.0 <= delay < _INF:
+            raise SimulationError(
+                f"invalid delay {delay!r}: must be finite and non-negative"
+            )
         time = self._now + delay
         seq = self._seq
         self._seq = seq + 1
-        handle = EventHandle(time, seq, callback, args)
-        heapq.heappush(self._heap, (time, seq, handle))
+        handle = EventHandle(time, seq, callback, args, self)
+        heap = self._heap
+        heapq.heappush(heap, (time, seq, handle))
+        self._heap_pushes += 1
+        self._live += 1
+        if len(heap) > self._peak_heap:
+            self._peak_heap = len(heap)
         return handle
 
     def schedule_at(
         self, time: float, callback: Callable[..., None], *args: Any
     ) -> EventHandle:
         """Schedule ``callback(*args)`` at absolute simulation ``time``."""
-        if time < self._now:
+        if not self._now <= time < _INF:
             raise SimulationError(
-                f"cannot schedule at t={time!r}, now is t={self._now!r}"
+                f"cannot schedule at t={time!r}, now is t={self._now!r} "
+                "(time must be finite and not in the past)"
             )
         seq = self._seq
         self._seq = seq + 1
-        handle = EventHandle(time, seq, callback, args)
-        heapq.heappush(self._heap, (time, seq, handle))
+        handle = EventHandle(time, seq, callback, args, self)
+        heap = self._heap
+        heapq.heappush(heap, (time, seq, handle))
+        self._heap_pushes += 1
+        self._live += 1
+        if len(heap) > self._peak_heap:
+            self._peak_heap = len(heap)
         return handle
+
+    def _alloc_pooled(
+        self, callback: Callable[..., None], args: tuple[Any, ...]
+    ) -> EventHandle:
+        pool = self._handle_pool
+        if pool:
+            handle = pool.pop()
+            handle.generation += 1
+            handle.callback = callback
+            handle.args = args
+            return handle
+        handle = EventHandle(0.0, 0, callback, args, self)
+        handle.pooled = True
+        return handle
+
+    def call_after(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> None:
+        """Fire-and-forget :meth:`schedule`: no handle is returned, the
+        event cannot be cancelled, and its (pooled) handle is recycled
+        the moment it fires.  The per-packet scheduling path."""
+        if not 0.0 <= delay < _INF:
+            raise SimulationError(
+                f"invalid delay {delay!r}: must be finite and non-negative"
+            )
+        time = self._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        handle = self._alloc_pooled(callback, args)
+        handle.time = time
+        handle.seq = seq
+        heap = self._heap
+        heapq.heappush(heap, (time, seq, handle))
+        self._heap_pushes += 1
+        self._live += 1
+        if len(heap) > self._peak_heap:
+            self._peak_heap = len(heap)
+
+    def call_at(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> None:
+        """Fire-and-forget :meth:`schedule_at` (see :meth:`call_after`)."""
+        if not self._now <= time < _INF:
+            raise SimulationError(
+                f"cannot schedule at t={time!r}, now is t={self._now!r} "
+                "(time must be finite and not in the past)"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        handle = self._alloc_pooled(callback, args)
+        handle.time = time
+        handle.seq = seq
+        heap = self._heap
+        heapq.heappush(heap, (time, seq, handle))
+        self._heap_pushes += 1
+        self._live += 1
+        if len(heap) > self._peak_heap:
+            self._peak_heap = len(heap)
+
+    def reserve_seq(self) -> int:
+        """Claim the next insertion-sequence number without scheduling.
+
+        Coalesced FIFO components (link/pipe) reserve a seq per packet at
+        entry — the exact point the pre-coalescing engine consumed one by
+        scheduling a per-packet event — and later arm their single
+        delivery event with the head packet's reserved seq via
+        :meth:`call_at_reserved`.  Global (time, seq) firing order is
+        therefore identical to scheduling one event per packet, while the
+        heap holds at most one entry per component.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        return seq
+
+    def call_at_reserved(
+        self, time: float, seq: int, callback: Callable[..., None], *args: Any
+    ) -> None:
+        """Fire-and-forget schedule at ``time`` with a previously
+        :meth:`reserve_seq`-claimed sequence number.  The caller must use
+        each reserved seq at most once (uniqueness keeps heap ordering
+        total)."""
+        handle = self._alloc_pooled(callback, args)
+        handle.time = time
+        handle.seq = seq
+        heap = self._heap
+        heapq.heappush(heap, (time, seq, handle))
+        self._heap_pushes += 1
+        self._live += 1
+        if len(heap) > self._peak_heap:
+            self._peak_heap = len(heap)
 
     def cancel(self, handle: EventHandle | None) -> None:
         """Cancel a pending event; cancelling ``None`` or twice is a no-op."""
@@ -101,9 +280,23 @@ class Simulator:
         heap = self._heap
         while heap and heap[0][2].cancelled:
             heapq.heappop(heap)
+            self._cancelled_backlog -= 1
         if not heap:
             return None
         return heap[0][0]
+
+    def _fire(self, event: EventHandle) -> None:
+        """Invoke ``event`` and recycle its handle if pooled."""
+        event.callback(*event.args)
+        if event.pooled:
+            event.callback = _noop
+            event.args = ()
+            self._handle_pool.append(event)
+        else:
+            # Mark consumed: a late cancel() on a fired handle must not
+            # perturb the live/cancelled counters (and dropping the back
+            # reference breaks the sim <-> handle cycle).
+            event.owner = None
 
     def step(self) -> bool:
         """Fire the next live event.  Returns ``False`` when none remain."""
@@ -112,10 +305,12 @@ class Simulator:
         while heap:
             time, _seq, event = pop(heap)
             if event.cancelled:
+                self._cancelled_backlog -= 1
                 continue
             self._now = time
             self._events_processed += 1
-            event.callback(*event.args)
+            self._live -= 1
+            self._fire(event)
             return True
         return False
 
@@ -143,6 +338,7 @@ class Simulator:
         # Local-variable hot loop: one pass per event, no peek_time/step
         # double scan of the heap head and no per-event method dispatch.
         heap = self._heap
+        pool = self._handle_pool
         pop = heapq.heappop
         fired = 0
         try:
@@ -151,6 +347,7 @@ class Simulator:
                     return
                 while heap and heap[0][2].cancelled:
                     pop(heap)
+                    self._cancelled_backlog -= 1
                 if not heap:
                     break
                 next_time = heap[0][0]
@@ -159,7 +356,14 @@ class Simulator:
                 _time, _seq, event = pop(heap)
                 self._now = next_time
                 self._events_processed += 1
+                self._live -= 1
                 event.callback(*event.args)
+                if event.pooled:
+                    event.callback = _noop
+                    event.args = ()
+                    pool.append(event)
+                else:
+                    event.owner = None
                 fired += 1
             if until is not None and until > self._now:
                 self._now = until

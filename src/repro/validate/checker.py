@@ -36,7 +36,11 @@ Enforced invariants (paper anchors in parentheses):
   cwnd and ssthresh >= 1 MSS, RTO clamped to ``[_MIN_RTO, _MAX_RTO]``;
 * middlebox dispatch conservation (assumes limiters receive traffic
   only through their middlebox);
-* modeled op counts (§6.2 cost model) never negative.
+* modeled op counts (§6.2 cost model) never negative;
+* event-engine accounting: raw heap length equals live events plus the
+  cancelled backlog, all engine counters non-negative, and the
+  backlog / heap high-water marks never below their current values
+  (``Simulator(validate=checker)`` self-registers the simulator).
 """
 
 from __future__ import annotations
@@ -82,6 +86,7 @@ class InvariantChecker:
         self._limiters: list[tuple[Any, dict[str, Any]]] = []
         self._senders: list[Any] = []
         self._middleboxes: list[tuple[Any, dict[str, Any]]] = []
+        self._simulators: list[Any] = []
 
     # ------------------------------------------------------------------
     # Attachment (called from component __init__)
@@ -121,6 +126,16 @@ class InvariantChecker:
                 self._check_post_sweep(limiter)
 
             limiter._on_window_sweep = wrapped_sweep
+
+    def attach_simulator(self, sim: Any) -> None:
+        """Register the simulator itself for engine-counter probing.
+
+        Called from ``Simulator.__init__`` when constructed with
+        ``validate=``.  Nothing is wrapped — the engine counters are
+        plain attributes — so the event loop stays untouched; the probes
+        run piggybacked on every limiter check and once at finalize.
+        """
+        self._simulators.append(sim)
 
     def attach_sender(self, sender: Any) -> None:
         """Wrap a TCP sender's ACK entry point for per-ACK checking."""
@@ -196,6 +211,8 @@ class InvariantChecker:
             self._check_sender(sender)
         for middlebox, state in self._middleboxes:
             self._check_middlebox(middlebox, state)
+        for sim in self._simulators:
+            self._check_simulator(sim)
         for trace in traces:
             self._ensure(
                 len(trace.times) > 0,
@@ -249,9 +266,41 @@ class InvariantChecker:
 
             queues.reclaim_magic = wrapped_reclaim
 
+    def _check_simulator(self, sim: Any) -> None:
+        """Engine-counter probes (satellite of the event-engine overhaul):
+        the live/cancelled split introduced for ``Simulator.pending`` must
+        always tile the raw heap exactly."""
+        self._ensure(
+            sim.pending >= 0,
+            f"simulator: negative live-event count {sim.pending}",
+        )
+        self._ensure(
+            sim.cancelled_backlog >= 0,
+            f"simulator: negative cancelled backlog {sim.cancelled_backlog}",
+        )
+        self._ensure(
+            sim.heap_size == sim.pending + sim.cancelled_backlog,
+            f"simulator: heap accounting broken: heap_size={sim.heap_size}"
+            f" != pending={sim.pending} + "
+            f"cancelled_backlog={sim.cancelled_backlog}",
+        )
+        self._ensure(
+            sim.cancelled_backlog_hwm >= sim.cancelled_backlog,
+            f"simulator: backlog HWM {sim.cancelled_backlog_hwm} below "
+            f"current backlog {sim.cancelled_backlog}",
+        )
+        self._ensure(
+            sim.peak_heap_size >= sim.heap_size,
+            f"simulator: peak heap {sim.peak_heap_size} below current "
+            f"heap size {sim.heap_size}",
+        )
+
     def _check_limiter(
         self, limiter: Any, state: dict[str, Any], packet: Any
     ) -> None:
+        sim = getattr(limiter, "_sim", None)
+        if sim is not None and sim in self._simulators:
+            self._check_simulator(sim)
         stats = limiter.stats
         name = limiter.name
 

@@ -1,5 +1,7 @@
 """Tests for packet and flow-identity types."""
 
+from hypothesis import given, strategies as st
+
 from repro.net.packet import FlowId, Packet, PacketKind
 from repro.units import ACK_SIZE, MSS
 
@@ -48,3 +50,92 @@ def test_flow_id_str():
 def test_kind_enum():
     assert PacketKind.DATA.value == "data"
     assert PacketKind.ACK.value == "ack"
+
+
+class TestAckPool:
+    def setup_method(self):
+        Packet._ack_pool.clear()
+
+    def test_recycled_ack_is_reissued(self):
+        flow = FlowId(0, 0)
+        ack = Packet.ack(flow, 1, 0.0, echo_ts=0.0, echo_retransmit=False)
+        Packet.recycle_ack(ack)
+        reissued = Packet.ack(flow, 2, 1.0, echo_ts=0.5, echo_retransmit=True)
+        assert reissued is ack
+
+    def test_reissue_resets_every_field_and_bumps_generation(self):
+        flow = FlowId(0, 0)
+        ack = Packet.ack(flow, 9, 0.0, echo_ts=0.1, echo_retransmit=True,
+                         sack=((2, 4),))
+        ack.ce = True
+        ack.ecn_echo = True
+        gen, uid = ack.generation, ack.uid
+        Packet.recycle_ack(ack)
+        fresh = Packet.ack(FlowId(1, 1), 3, 2.0, echo_ts=1.5,
+                           echo_retransmit=False)
+        assert fresh is ack
+        assert fresh.generation == gen + 1
+        assert fresh.uid != uid
+        assert fresh.flow == FlowId(1, 1)
+        assert fresh.ack_next == 3
+        assert fresh.sent_at == 2.0
+        assert fresh.echo_ts == 1.5
+        assert fresh.echo_retransmit is False
+        assert fresh.sack == ()
+        assert fresh.ce is False and fresh.ecn_echo is False
+
+    def test_double_recycle_never_duplicates_pool_entry(self):
+        # A consumed packet must not be resurrectable twice: the second
+        # recycle is a no-op, so two subsequent acks are distinct objects.
+        flow = FlowId(0, 0)
+        ack = Packet.ack(flow, 1, 0.0, echo_ts=0.0, echo_retransmit=False)
+        Packet.recycle_ack(ack)
+        Packet.recycle_ack(ack)
+        a = Packet.ack(flow, 2, 1.0, echo_ts=0.0, echo_retransmit=False)
+        b = Packet.ack(flow, 3, 2.0, echo_ts=0.0, echo_retransmit=False)
+        assert a is not b
+
+    def test_data_packets_never_pooled(self):
+        pkt = Packet.data(FlowId(0, 0), 1, 0.0)
+        Packet.recycle_ack(pkt)
+        assert Packet._ack_pool == []
+
+    def test_pool_is_bounded(self):
+        flow = FlowId(0, 0)
+        acks = [Packet.ack(flow, i, 0.0, echo_ts=0.0, echo_retransmit=False)
+                for i in range(Packet._ACK_POOL_MAX + 50)]
+        for ack in acks:
+            Packet.recycle_ack(ack)
+        assert len(Packet._ack_pool) == Packet._ACK_POOL_MAX
+
+    def test_pool_fields_do_not_leak_into_eq_or_repr(self):
+        flow = FlowId(0, 0)
+        a = Packet.ack(flow, 1, 0.0, echo_ts=0.0, echo_retransmit=False)
+        Packet.recycle_ack(a)
+        b = Packet.ack(flow, 1, 0.0, echo_ts=0.0, echo_retransmit=False)
+        assert "generation" not in repr(b) and "_in_pool" not in repr(b)
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=60))
+    def test_reissue_never_resurrects_live_ack(self, recycle_script):
+        """Property: across an arbitrary alloc/recycle interleaving, a
+        reissued object is never one the caller still holds live, and
+        every reissue bumps the recycled object's generation."""
+        Packet._ack_pool.clear()
+        flow = FlowId(0, 0)
+        live: dict[int, tuple[Packet, int]] = {}
+        for i, do_recycle in enumerate(recycle_script):
+            ack = Packet.ack(flow, i, float(i), echo_ts=0.0,
+                             echo_retransmit=False)
+            # Reissue must never hand back an object still held live.
+            assert id(ack) not in live
+            if do_recycle:
+                expected_gen = ack.generation + 1
+                Packet.recycle_ack(ack)
+                live.pop(id(ack), None)
+                # Next alloc reuses it (LIFO pool) with a bumped generation.
+                again = Packet.ack(flow, i, float(i), echo_ts=0.0,
+                                   echo_retransmit=False)
+                assert again is ack and again.generation == expected_gen
+                live[id(again)] = (again, again.generation)
+            else:
+                live[id(ack)] = (ack, ack.generation)

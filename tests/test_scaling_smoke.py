@@ -10,6 +10,11 @@ O(log N).  Two guards:
   loose (CI machines are noisy) but far below the ~100x an O(N)-per-
   arrival drain would show at N=1000 vs N=10.
 
+The event-engine overhaul rides the same marker: its deterministic
+gates (heap pushes/packet, events/packet, peak heap vs the pinned
+pre-overhaul engine) run exactly, with only the wall-clock speedup gate
+loosened for CI noise.
+
 Marked ``scaling`` so wall-clock-sensitive environments can deselect
 them with ``-m "not scaling"``.
 """
@@ -62,3 +67,36 @@ class TestScalingSmoke:
         }
         failures = report.check_scaling(fake, multiple=3.0)
         assert len(failures) == 1 and "pqp" in failures[0]
+
+
+@pytest.fixture(scope="module")
+def eventloop():
+    # Default horizon: the deterministic gates compare against the pinned
+    # pre-overhaul counters, which were measured at the default workload.
+    return report.eventloop_section()
+
+
+class TestEventloopSmoke:
+    def test_deterministic_gates_pass(self, eventloop):
+        # min_speedup=0.6 keeps the wall gate loose on noisy CI boxes;
+        # the heap-push / events-per-packet / peak-heap gates are exact.
+        assert report.check_eventloop(eventloop, min_speedup=0.6) == []
+
+    @pytest.mark.parametrize("scheme", report.PRE_PR_EVENTLOOP)
+    def test_workload_unchanged_vs_pre_overhaul(self, eventloop, scheme):
+        # Same packets arrived => the coalesced engine runs the *same*
+        # simulation, so the per-packet counter ratios are meaningful.
+        cell = eventloop["schemes"][scheme]
+        assert (
+            cell["arrived_packets"]
+            == report.PRE_PR_EVENTLOOP[scheme]["arrived_packets"]
+        )
+
+    def test_check_flags_regressions(self):
+        # Feed the gate a cell that regressed back to pre-overhaul costs.
+        pre = report.PRE_PR_EVENTLOOP["bcpqp"]
+        fake = {"schemes": {"bcpqp": dict(pre)}}
+        failures = report.check_eventloop(fake, min_speedup=1.3)
+        assert any("heap pushes" in f for f in failures)
+        assert any("peak heap" in f for f in failures)
+        assert any("speedup" in f for f in failures)

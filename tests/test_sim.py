@@ -166,6 +166,182 @@ class TestCancellation:
         assert handle.args == ()
 
 
+class TestNonFiniteRejection:
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -1e-9])
+    def test_schedule_rejects_bad_delay(self, bad):
+        sim = Simulator()
+        with pytest.raises(SimulationError) as exc:
+            sim.schedule(bad, lambda: None)
+        assert repr(bad) in str(exc.value)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -0.5])
+    def test_schedule_at_rejects_bad_time(self, bad):
+        sim = Simulator()
+        with pytest.raises(SimulationError) as exc:
+            sim.schedule_at(bad, lambda: None)
+        assert repr(bad) in str(exc.value)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -1.0])
+    def test_call_after_rejects_bad_delay(self, bad):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.call_after(bad, lambda: None)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_call_at_rejects_bad_time(self, bad):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.call_at(bad, lambda: None)
+
+    def test_nan_does_not_slip_past_negative_guard(self):
+        # NaN fails every comparison, so a plain `delay < 0` guard lets
+        # it through and poisons the heap; the chained guard rejects it.
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(float("nan"), lambda: None)
+        assert sim.heap_size == 0
+
+
+class TestPendingAccounting:
+    def test_pending_counts_only_live_events(self):
+        sim = Simulator()
+        keep = sim.schedule(1.0, lambda: None)
+        doomed = sim.schedule(2.0, lambda: None)
+        assert sim.pending == 2
+        doomed.cancel()
+        assert sim.pending == 1
+        assert sim.cancelled_backlog == 1
+        assert sim.heap_size == sim.pending + sim.cancelled_backlog
+        assert keep.active
+        sim.run()
+        assert sim.pending == 0
+        assert sim.cancelled_backlog == 0
+
+    def test_cancelled_backlog_hwm(self):
+        sim = Simulator()
+        handles = [sim.schedule(1.0 + i, lambda: None) for i in range(5)]
+        for h in handles[:3]:
+            h.cancel()
+        assert sim.cancelled_backlog_hwm == 3
+        sim.run()
+        # HWM is sticky; the live backlog has drained.
+        assert sim.cancelled_backlog_hwm == 3
+        assert sim.cancelled_backlog == 0
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert sim.cancelled_backlog == 1
+        assert sim.pending == 0
+
+    def test_late_cancel_of_fired_handle_is_inert(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.run()
+        handle.cancel()  # already fired: counters must not move
+        assert sim.pending == 0
+        assert sim.cancelled_backlog == 0
+
+    def test_peek_time_drains_backlog_counter(self):
+        sim = Simulator()
+        first = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        first.cancel()
+        assert sim.peek_time() == 2.0
+        assert sim.cancelled_backlog == 0
+        assert sim.heap_size == 1
+
+
+class TestFireAndForget:
+    def test_call_after_fires(self):
+        sim = Simulator()
+        fired = []
+        assert sim.call_after(1.0, fired.append, "x") is None
+        sim.run()
+        assert fired == ["x"]
+
+    def test_call_at_fires(self):
+        sim = Simulator(start_time=2.0)
+        fired = []
+        sim.call_at(3.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [3.0]
+
+    def test_mixed_tiers_preserve_insertion_order_at_ties(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.call_after(1.0, fired.append, "b")
+        sim.schedule(1.0, fired.append, "c")
+        sim.call_at(1.0, fired.append, "d")
+        sim.run()
+        assert fired == ["a", "b", "c", "d"]
+
+    def test_handles_recycled_through_pool(self):
+        sim = Simulator()
+        for _ in range(10):
+            sim.call_after(1.0, lambda: None)
+        sim.run()
+        assert sim.handle_pool_size == 10
+        # A fresh burst reuses the pooled handles instead of growing it.
+        for _ in range(10):
+            sim.call_after(1.0, lambda: None)
+        assert sim.handle_pool_size == 0
+        sim.run()
+        assert sim.handle_pool_size == 10
+
+    def test_recycled_handle_bumps_generation(self):
+        sim = Simulator()
+        sim.call_after(1.0, lambda: None)
+        sim.run()
+        [handle] = sim._handle_pool
+        gen = handle.generation
+        sim.call_after(1.0, lambda: None)
+        assert handle.generation == gen + 1
+        sim.run()
+
+    def test_pooled_handle_never_resurrects_consumed_callback(self):
+        # After firing, a pooled handle's callback is cleared; reissue
+        # must install the new callback, never replay the consumed one.
+        sim = Simulator()
+        fired = []
+        sim.call_after(1.0, fired.append, "first")
+        sim.run()
+        sim.call_after(1.0, fired.append, "second")
+        sim.run()
+        assert fired == ["first", "second"]
+
+
+class TestReservedSequences:
+    def test_reserve_seq_is_monotone(self):
+        sim = Simulator()
+        a, b = sim.reserve_seq(), sim.reserve_seq()
+        assert b == a + 1
+
+    def test_call_at_reserved_orders_by_reservation_point(self):
+        # A packet that reserved its seq before another event was
+        # scheduled must fire before it at the same instant, even though
+        # the heap push happens later — the coalescing guarantee.
+        sim = Simulator()
+        fired = []
+        early_seq = sim.reserve_seq()
+        sim.schedule(1.0, fired.append, "scheduled-later")
+        sim.call_at_reserved(1.0, early_seq, fired.append, "reserved-earlier")
+        sim.run()
+        assert fired == ["reserved-earlier", "scheduled-later"]
+
+    def test_reserved_seq_counts_as_live_when_armed(self):
+        sim = Simulator()
+        seq = sim.reserve_seq()
+        assert sim.pending == 0  # reservation alone schedules nothing
+        sim.call_at_reserved(2.0, seq, lambda: None)
+        assert sim.pending == 1
+        sim.run()
+        assert sim.pending == 0
+
+
 class TestEventHandleOrdering:
     def test_ordering_by_time_then_seq(self):
         a = EventHandle(1.0, 0, lambda: None, ())
