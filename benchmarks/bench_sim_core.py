@@ -102,9 +102,13 @@ def run_soft_reschedule(n: int = RESCHEDULE_EVENTS) -> int:
     return n - remaining
 
 
-def run_eventloop_cell(scheme: str, horizon: float | None = None) -> dict:
+def run_eventloop_cell(
+    scheme: str, horizon: float | None = None, batch: int | None = None
+) -> dict:
     """One saturated fig5 cell end-to-end, instrumented by the engine's
-    own counters.  Deterministic except for ``wall_seconds``."""
+    own counters.  Deterministic except for ``wall_seconds``.  ``batch``
+    is the delivery batch limit (``None`` = unbounded batched engine,
+    ``1`` = the legacy per-packet path)."""
     from repro.experiments import fig5_efficiency
     from repro.runner.aggregate import build_scenario
 
@@ -114,7 +118,7 @@ def run_eventloop_cell(scheme: str, horizon: float | None = None) -> dict:
     cell = fig5_efficiency.grid(config)[
         list(fig5_efficiency.SCHEMES).index(scheme)
     ]
-    sim = Simulator()
+    sim = Simulator(batch_limit=batch)
     limiter, scenario = build_scenario(cell, sim)
     start = time.perf_counter()
     scenario.run()
@@ -126,6 +130,8 @@ def run_eventloop_cell(scheme: str, horizon: float | None = None) -> dict:
         "heap_pushes_per_packet": round(sim.heap_pushes / packets, 4),
         "peak_heap_size": sim.peak_heap_size,
         "cancelled_backlog_hwm": sim.cancelled_backlog_hwm,
+        "inline_advances": sim.inline_advances,
+        "batched_deliveries": sim.batched_deliveries,
         "wall_seconds": wall,
         "us_per_packet": round(wall / packets * 1e6, 2),
     }

@@ -14,8 +14,8 @@ import heapq
 from typing import Callable
 
 from repro.cc.base import AckSample, CongestionControl
-from repro.net.packet import FlowId, Packet
-from repro.net.sink import PacketSink
+from repro.net.packet import FlowId, Packet, PacketKind, _packet_ids
+from repro.net.sink import PacketSink, batch_capable
 from repro.sim.simulator import Simulator
 from repro.sim.timer import Timer
 from repro.units import MSS
@@ -134,6 +134,33 @@ class TcpSender:
         self._next_send_time = 0.0
         self._pacing_timer = Timer(sim, self._on_pacing_timer)
 
+        # Batched-engine fast path: the fused ACK/send loops below are
+        # exact transcriptions of _process_ack/_try_send (same float ops,
+        # same seq reservations) with the helper calls inlined.  The
+        # legacy per-packet engine (batch_limit=1) keeps routing through
+        # the original methods so batched-vs-unbatched benchmarks compare
+        # against unmodified code.
+        self._fast = sim.batch_limit != 1
+        #: Lazily latched by :meth:`_fast_path_ok` on first ACK/timer:
+        #: ``None`` = undecided, then True/False for the session.
+        self._fast_state: bool | None = None
+        self._needs_rate = cc.needs_rate_samples
+        #: Whether the controller overrides pacing_rate (the base returns
+        #: None unconditionally, so the fast path can skip the call).
+        self._cc_paces = (
+            type(cc).pacing_rate is not CongestionControl.pacing_rate
+        )
+        #: Batched-engine egress entry: the pipe's fused single-packet
+        #: receive when it has one, else the plain receive.
+        self._egress_fast = getattr(egress, "receive_fast", egress.receive)
+        #: Scratch sample reused by the fused ACK path — controllers
+        #: consume samples synchronously (AckSample's contract), so one
+        #: mutable instance per sender avoids a dataclass construction
+        #: per ACK.  The legacy path keeps building fresh samples.
+        self._ack_scratch = AckSample(
+            newly_acked=0, rtt=None, delivery_rate=None, inflight=0.0, now=0.0
+        )
+
         # Per-packet send records: seq -> (sent_time, delivered_at_send,
         # delivered_time_at_send, retransmit).  Used for delivery-rate
         # sampling (BBR) and RACK-style time-based loss detection.
@@ -212,6 +239,370 @@ class TcpSender:
         finally:
             Packet.recycle_ack(packet)
 
+    def receive_batch(self, packets: list[Packet]) -> None:
+        """Process a same-instant batch of ACKs.
+
+        Each ACK is still processed *fully* (bookkeeping **and** the send
+        attempt) before the next: transmissions, pacing updates and timer
+        rearms all consume simulator seqs, so deferring any of them to a
+        per-batch pass would change the unbatched engine's seq
+        assignment.  The batch win here is the hoisted kind/done checks,
+        the single entry call per batch, and recycling the consumed ACKs
+        batch-at-a-time.  The per-ACK timer rearms only rewrite the
+        soft-reschedule deadline (two int/float stores); the heap wake is
+        already amortized to at most one push per batch by the Timer.
+        """
+        if not self.done:
+            fast = self._fast_state
+            if fast is None:
+                fast = self._fast_state = self._fast_path_ok()
+            process = self._ack_fast if fast else self._process_ack
+            for packet in packets:
+                if packet.kind is PacketKind.ACK:
+                    process(packet)
+                    if self.completed_at is not None:
+                        break
+        Packet.recycle_acks(packets)
+
+    def _fast_path_ok(self) -> bool:
+        """Whether the fused transcriptions (:meth:`_ack_fast` /
+        :meth:`_try_send_fast`) may run.  Latched on first use: they
+        inline the bodies of the legacy reference methods, so any
+        instance- or subclass-level override of those (tests hook
+        ``_transmit``; the validator substitutes ``_process_ack``) must
+        route through the overridable per-packet path instead.
+        """
+        if not self._fast:
+            return False
+        cls = type(self)
+        d = self.__dict__
+        for name in (
+            "_transmit",
+            "_try_send",
+            "_process_ack",
+            "_advance_una",
+            "_update_rto",
+            "_detect_losses",
+            "_arm_pacing_timer",
+        ):
+            if getattr(cls, name) is not getattr(TcpSender, name):
+                return False
+            if name in d:
+                return False
+        return True
+
+    def _ack_fast(self, packet: Packet) -> None:
+        """Fused ACK processing for the batched engine.
+
+        A line-for-line transcription of :meth:`_process_ack` with the
+        per-ACK helper calls (``_advance_una``, ``_update_rto``, the
+        ``inflight`` property, the timer rearms, ``_detect_losses``'s
+        no-loss case) inlined in restricted, compilable style: flat
+        locals, no closures, branches instead of ``min``/``max`` calls.
+        Every simulator seq reservation and every float operation happens
+        in the original order, so the two paths are bit-identical; the
+        original methods are the executable reference and take over
+        whenever the scoreboard is non-trivial.
+        """
+        sim = self._sim
+        now = sim._now
+        ack = packet.ack_next
+        old_una = self.snd_una
+
+        if (
+            self.ecn
+            and packet.ecn_echo
+            and old_una >= self._ecn_cwr_point
+            and not self._in_recovery
+        ):
+            self._ecn_cwr_point = self.snd_nxt
+            self.ecn_reductions += 1
+            self.cc.on_loss_event(now, self.inflight)
+
+        sack = packet.sack
+        newly_sacked = self._apply_sack(sack) if sack else 0
+        delivered_this_ack = newly_sacked
+
+        sacked = self._sacked
+        lost = self._lost_set
+        retx = self._retx_out
+        if ack > old_una:
+            # _advance_una, fast case: empty scoreboard means every seq in
+            # [snd_una, ack) is newly acked and only the send-info record
+            # and RACK point need maintenance.
+            if not sacked and not lost and not retx:
+                newly = ack - old_una
+                self._newly_acked = newly
+                pop_info = self._send_info.pop
+                rack_time = self._rack_time
+                for seq in range(old_una, ack):
+                    info = pop_info(seq, None)
+                    if info is not None:
+                        sent = info[0]
+                        if sent > rack_time:
+                            rack_time = sent
+                self._rack_time = rack_time
+                self.snd_una = ack
+                if ack > self._loss_scan_ptr:
+                    self._loss_scan_ptr = ack
+                heap = self._lost_heap
+                while heap and heap[0] < ack:
+                    heapq.heappop(heap)
+            else:
+                self._advance_una(ack)
+                newly = self._newly_acked
+            rtt_sample: float | None = None
+            if not packet.echo_retransmit and packet.echo_ts > 0:
+                rtt_sample = now - packet.echo_ts
+                if rtt_sample < 1e-9:
+                    rtt_sample = 1e-9
+                # _update_rto inlined.
+                srtt = self._srtt
+                if srtt is None:
+                    srtt = rtt_sample
+                    rttvar = rtt_sample / 2.0
+                else:
+                    dev = srtt - rtt_sample
+                    if dev < 0.0:
+                        dev = -dev
+                    rttvar = 0.75 * self._rttvar + 0.25 * dev
+                    srtt = 0.875 * srtt + 0.125 * rtt_sample
+                self._srtt = srtt
+                self._rttvar = rttvar
+                rto = srtt + 4.0 * rttvar
+                if rto < _MIN_RTO:
+                    rto = _MIN_RTO
+                elif rto > _MAX_RTO:
+                    rto = _MAX_RTO
+                self._rto = rto
+            delivered_this_ack += newly
+            self._delivered += newly
+            self._delivered_time = now
+            if self._needs_rate:
+                delivery_rate = self._take_rate_sample(ack, now)
+            else:
+                delivery_rate = None
+
+            if self._in_recovery and ack >= self._recover_point:
+                self._in_recovery = False
+                self._recovery_budget = 0.0
+                retx.clear()
+                self.cc.on_recovery_exit(now)
+            if not self._in_recovery:
+                pipe = (
+                    (self.snd_nxt - ack)
+                    - len(sacked)
+                    - len(lost)
+                    + len(retx)
+                )
+                if pipe < 0:
+                    pipe = 0
+                sample = self._ack_scratch
+                sample.newly_acked = newly
+                sample.rtt = rtt_sample
+                sample.delivery_rate = delivery_rate
+                sample.inflight = pipe
+                sample.now = now
+                self.cc.on_ack(sample)
+            if self._total is not None and ack >= self._total:
+                self._complete(now)
+                return
+        if (ack > old_una or newly_sacked > 0) and self.snd_nxt > self.snd_una:
+            # _restart_rto_timer + _rearm_tlp_timer: soft-reschedule
+            # deadline writes, each reserving the seq the cancel+push
+            # engine would have consumed (see repro.sim.timer).
+            timer = self._rto_timer
+            seq = sim._seq
+            sim._seq = seq + 1
+            time = now + self._rto
+            timer._deadline = time
+            timer._deadline_seq = seq
+            armed = timer._armed_time
+            if armed is None or time < armed:
+                timer._armed_time = time
+                timer._armed_seq = seq
+                sim.call_at_reserved(time, seq, timer._fire, seq)
+            srtt = self._srtt
+            if srtt is not None:
+                pto = _TLP_SRTT_FACTOR * srtt
+                cap = 0.9 * self._rto
+                if pto > cap:
+                    pto = cap
+                if pto < 1e-3:
+                    pto = 1e-3
+                timer = self._tlp_timer
+                seq = sim._seq
+                sim._seq = seq + 1
+                time = now + pto
+                timer._deadline = time
+                timer._deadline_seq = seq
+                armed = timer._armed_time
+                if armed is None or time < armed:
+                    timer._armed_time = time
+                    timer._armed_seq = seq
+                    sim.call_at_reserved(time, seq, timer._fire, seq)
+
+        # _detect_losses, fast case: an empty scoreboard with no unscanned
+        # holes leaves only the RACK head probe (membership tests against
+        # empty sets elided).
+        if not sacked and not lost and not retx:
+            horizon = self._fack - _DUP_THRESH
+            una = self.snd_una
+            scan = self._loss_scan_ptr
+            if scan < una:
+                scan = una
+            if scan < horizon:
+                self._detect_losses(now)
+            else:
+                if scan > self._loss_scan_ptr:
+                    self._loss_scan_ptr = scan
+                srtt = self._srtt
+                rack_time = self._rack_time
+                new_loss = False
+                if srtt is not None and rack_time > 0:
+                    reo = 0.25 * srtt + 4.0 * self._rttvar
+                    head_end = una + 8
+                    snd_nxt = self.snd_nxt
+                    if head_end > snd_nxt:
+                        head_end = snd_nxt
+                    get_info = self._send_info.get
+                    for seq in range(una, head_end):
+                        if seq in lost:
+                            continue
+                        info = get_info(seq)
+                        if info is not None and info[0] + reo < rack_time:
+                            lost.add(seq)
+                            heapq.heappush(self._lost_heap, seq)
+                            new_loss = True
+                if new_loss and not self._in_recovery:
+                    self._enter_recovery(now)
+        else:
+            self._detect_losses(now)
+        if self._in_recovery:
+            if delivered_this_ack > 0:
+                self._recovery_budget += delivered_this_ack
+            pipe = (
+                (self.snd_nxt - self.snd_una)
+                - len(sacked)
+                - len(lost)
+                + len(retx)
+            )
+            if pipe < 0:
+                pipe = 0
+            if pipe < self.cc.cwnd:
+                self._recovery_budget += 1
+        self._try_send_fast(now)
+
+    def _try_send_fast(self, now: float) -> None:
+        """Fused :meth:`_try_send` for the batched engine: same decision
+        sequence, same seq reservations, helper calls inlined."""
+        if self.completed_at is not None or not self.started:
+            return
+        cc = self.cc
+        rate = cc.pacing_rate(now) if self._cc_paces else None
+        srtt = self._srtt
+        if rate is None and srtt is not None:
+            cwnd = cc.cwnd
+            ratio = _PACING_SS_RATIO if cwnd < cc.ssthresh else _PACING_CA_RATIO
+            rate = ratio * cwnd / srtt
+            if rate < 1.0:
+                rate = 1.0
+        sim = self._sim
+        sacked = self._sacked
+        lost = self._lost_set
+        retx = self._retx_out
+        lost_heap = self._lost_heap
+        total = self._total
+        while True:
+            # _next_lost inlined.
+            retx_seq = None
+            while lost_heap:
+                head = lost_heap[0]
+                if head in lost and head >= self.snd_una:
+                    retx_seq = head
+                    break
+                heapq.heappop(lost_heap)
+            snd_nxt = self.snd_nxt
+            if retx_seq is None and not (total is None or snd_nxt < total):
+                return
+            pipe = (snd_nxt - self.snd_una) - len(sacked) - len(lost) + len(retx)
+            if pipe < 0:
+                pipe = 0
+            if pipe + 1 > cc.cwnd:
+                return
+            in_recovery = self._in_recovery
+            if in_recovery and self._recovery_budget < 1.0:
+                return
+            if rate is not None:
+                nst = self._next_send_time
+                if now < nst - 1e-12:
+                    # _arm_pacing_timer inlined: now < nst so the
+                    # schedule_at target is nst itself.
+                    timer = self._pacing_timer
+                    if timer._deadline is None:
+                        seq = sim._seq
+                        sim._seq = seq + 1
+                        timer._deadline = nst
+                        timer._deadline_seq = seq
+                        armed = timer._armed_time
+                        if armed is None or nst < armed:
+                            timer._armed_time = nst
+                            timer._armed_seq = seq
+                            sim.call_at_reserved(nst, seq, timer._fire, seq)
+                    return
+                if nst < now:
+                    nst = now
+                self._next_send_time = nst + 1.0 / rate
+            if in_recovery:
+                self._recovery_budget -= 1.0
+            if retx_seq is not None:
+                heapq.heappop(lost_heap)
+                lost.discard(retx_seq)
+                retx[retx_seq] = now
+                self.retransmits += 1
+                seq = retx_seq
+                retransmit = True
+            else:
+                seq = snd_nxt
+                self.snd_nxt = seq + 1
+                retransmit = False
+            # _transmit inlined, including the Packet.data pool draw
+            # (same stores, same uid draw, no classmethod/kwargs call).
+            self.packets_sent += 1
+            self._send_info[seq] = (
+                now,
+                self._delivered,
+                self._delivered_time,
+                retransmit,
+            )
+            pool = Packet._data_pool
+            if pool:
+                pkt = pool.pop()
+                pkt._in_pool = False
+                pkt.generation += 1
+                pkt.flow = self.flow
+                pkt.seq = seq
+                pkt.size = self._mss
+                pkt.sent_at = now
+                pkt.retransmit = retransmit
+                pkt.ecn_capable = self.ecn
+                pkt.ce = False
+                pkt.uid = next(_packet_ids)
+            else:
+                pkt = Packet.data(
+                    self.flow,
+                    seq,
+                    now,
+                    size=self._mss,
+                    retransmit=retransmit,
+                    ecn_capable=self.ecn,
+                )
+            self._egress_fast(pkt)
+            if self._rto_timer._deadline is None:
+                self._restart_rto_timer()
+            if self._tlp_timer._deadline is None:
+                self._rearm_tlp_timer()
+
     def _process_ack(self, packet: Packet) -> None:
         now = self._sim.now
         ack = packet.ack_next
@@ -280,19 +671,27 @@ class TcpSender:
 
     def _advance_una(self, ack: int) -> None:
         """Move ``snd_una`` to ``ack`` and prune scoreboard state below."""
-        self._newly_acked = 0
+        newly = 0
+        sacked = self._sacked
+        lost = self._lost_set
+        retx = self._retx_out
+        pop_info = self._send_info.pop
+        rack_time = self._rack_time
         for seq in range(self.snd_una, ack):
-            if seq in self._sacked:
-                self._sacked.discard(seq)
+            if seq in sacked:
+                sacked.discard(seq)
             else:
-                self._newly_acked += 1
-            self._lost_set.discard(seq)
-            self._retx_out.pop(seq, None)
-            info = self._send_info.pop(seq, None)
-            if info is not None and info[0] > self._rack_time:
-                self._rack_time = info[0]
+                newly += 1
+            lost.discard(seq)
+            retx.pop(seq, None)
+            info = pop_info(seq, None)
+            if info is not None and info[0] > rack_time:
+                rack_time = info[0]
+        self._rack_time = rack_time
+        self._newly_acked = newly
         self.snd_una = ack
-        self._loss_scan_ptr = max(self._loss_scan_ptr, ack)
+        if ack > self._loss_scan_ptr:
+            self._loss_scan_ptr = ack
         # Drop stale heap heads lazily.
         heap = self._lost_heap
         while heap and heap[0] < ack:
@@ -301,18 +700,29 @@ class TcpSender:
     def _apply_sack(self, ranges: tuple[tuple[int, int], ...]) -> int:
         """Merge SACK ranges into the scoreboard; return newly SACKed count."""
         newly = 0
+        sacked = self._sacked
+        lost = self._lost_set
+        retx = self._retx_out
+        get_info = self._send_info.get
+        rack_time = self._rack_time
+        una = self.snd_una
+        fack = self._fack
         for start, end in ranges:
-            for seq in range(max(start, self.snd_una), end):
-                if seq not in self._sacked:
-                    self._sacked.add(seq)
-                    self._lost_set.discard(seq)
-                    self._retx_out.pop(seq, None)
-                    info = self._send_info.get(seq)
-                    if info is not None and info[0] > self._rack_time:
-                        self._rack_time = info[0]
+            if start < una:
+                start = una
+            for seq in range(start, end):
+                if seq not in sacked:
+                    sacked.add(seq)
+                    lost.discard(seq)
+                    retx.pop(seq, None)
+                    info = get_info(seq)
+                    if info is not None and info[0] > rack_time:
+                        rack_time = info[0]
                     newly += 1
-            if end > self._fack:
-                self._fack = end
+            if end > fack:
+                fack = end
+        self._rack_time = rack_time
+        self._fack = fack
         return newly
 
     def _detect_losses(self, now: float) -> None:
@@ -321,32 +731,41 @@ class TcpSender:
         unacknowledged after ~1.5 smoothed RTTs was lost again — Linux's
         RACK-TLP behaviour, without which a dropped retransmission stalls
         the flow until an RTO)."""
+        sacked = self._sacked
+        lost = self._lost_set
+        retx = self._retx_out
+        lost_heap = self._lost_heap
+        heappush = heapq.heappush
+        una = self.snd_una
         horizon = self._fack - _DUP_THRESH
         new_loss = False
-        scan = max(self._loss_scan_ptr, self.snd_una)
+        scan = self._loss_scan_ptr
+        if una > scan:
+            scan = una
         while scan < horizon:
-            if (
-                scan not in self._sacked
-                and scan not in self._retx_out
-                and scan not in self._lost_set
-            ):
-                self._lost_set.add(scan)
-                heapq.heappush(self._lost_heap, scan)
+            if scan not in sacked and scan not in retx and scan not in lost:
+                lost.add(scan)
+                heappush(lost_heap, scan)
                 new_loss = True
             scan += 1
-        self._loss_scan_ptr = max(self._loss_scan_ptr, scan)
+        if scan > self._loss_scan_ptr:
+            self._loss_scan_ptr = scan
 
-        if self._retx_out and self._srtt is not None:
-            reo_window = 1.5 * self._srtt + 4.0 * self._rttvar
-            stale = [
-                seq
-                for seq, sent in self._retx_out.items()
-                if now - sent > reo_window
-            ]
-            for seq in stale:
-                del self._retx_out[seq]
-                self._lost_set.add(seq)
-                heapq.heappush(self._lost_heap, seq)
+        srtt = self._srtt
+        if retx and srtt is not None:
+            reo_window = 1.5 * srtt + 4.0 * self._rttvar
+            stale = None
+            for seq, sent in retx.items():
+                if now - sent > reo_window:
+                    if stale is None:
+                        stale = [seq]
+                    else:
+                        stale.append(seq)
+            if stale is not None:
+                for seq in stale:
+                    del retx[seq]
+                    lost.add(seq)
+                    heappush(lost_heap, seq)
                 new_loss = True
 
         # RACK time-based detection for the head of the window: a packet
@@ -355,20 +774,21 @@ class TcpSender:
         # small-cwnd regime where dup-ACK detection cannot fire and Linux
         # relies on RACK-TLP).  DupThresh handles the large-window case,
         # so scanning a few head sequences suffices.
-        if self._srtt is not None and self._rack_time > 0:
-            reo = 0.25 * self._srtt + 4.0 * self._rttvar
-            head_end = min(self.snd_una + 8, self.snd_nxt)
-            for seq in range(self.snd_una, head_end):
-                if (
-                    seq in self._sacked
-                    or seq in self._lost_set
-                    or seq in self._retx_out
-                ):
+        rack_time = self._rack_time
+        if srtt is not None and rack_time > 0:
+            reo = 0.25 * srtt + 4.0 * self._rttvar
+            head_end = una + 8
+            snd_nxt = self.snd_nxt
+            if snd_nxt < head_end:
+                head_end = snd_nxt
+            get_info = self._send_info.get
+            for seq in range(una, head_end):
+                if seq in sacked or seq in lost or seq in retx:
                     continue
-                info = self._send_info.get(seq)
-                if info is not None and info[0] + reo < self._rack_time:
-                    self._lost_set.add(seq)
-                    heapq.heappush(self._lost_heap, seq)
+                info = get_info(seq)
+                if info is not None and info[0] + reo < rack_time:
+                    lost.add(seq)
+                    heappush(lost_heap, seq)
                     new_loss = True
 
         if new_loss and not self._in_recovery:
@@ -469,7 +889,13 @@ class TcpSender:
         )
 
     def _on_pacing_timer(self) -> None:
-        self._try_send()
+        fast = self._fast_state
+        if fast is None:
+            fast = self._fast_state = self._fast_path_ok()
+        if fast:
+            self._try_send_fast(self._sim._now)
+        else:
+            self._try_send()
 
     # ------------------------------------------------------------------
     # Delivery-rate sampling (BBR)
@@ -600,6 +1026,13 @@ class TcpReceiver:
     def __init__(self, sim: Simulator, ack_path: PacketSink) -> None:
         self._sim = sim
         self._ack_path = ack_path
+        self._ack_path_batch = batch_capable(ack_path)
+        #: Fused single-packet return entry (the pipe's ``receive_fast``
+        #: when it has one) for the demux singleton path.
+        self._ack_path_one = getattr(ack_path, "receive_fast", None)
+        if self._ack_path_one is None:
+            self._ack_path_one = ack_path.receive
+        self._ack_scratch: list[Packet] = []
         self.rcv_nxt = 0
         self._ranges: list[list[int]] = []  # disjoint, sorted [start, end)
         self.data_packets = 0
@@ -635,6 +1068,136 @@ class TcpReceiver:
             ecn_echo=packet.ce,
         )
         self._ack_path.receive(ack)
+
+    def receive_batch(self, packets: list[Packet]) -> None:
+        """Fused batch path: one pass over the data packets, ACKs
+        collected and handed to the return pipe in a single call.
+
+        Nothing between two ACK constructions consumes a simulator seq
+        or a packet uid in the unbatched engine (receiver bookkeeping is
+        pure), so creating the ACKs back-to-back and reserving their
+        return-pipe seqs consecutively reproduces the unbatched
+        assignment exactly.
+        """
+        acks = self._ack_scratch
+        acks.clear()
+        now = self._sim._now
+        make_ack = Packet.ack
+        ack_pool = Packet._ack_pool
+        append = acks.append
+        data_packets = 0
+        data_bytes = 0
+        for packet in packets:
+            if packet.kind is not PacketKind.DATA:
+                continue
+            data_packets += 1
+            data_bytes += packet.size
+            seq = packet.seq
+            rcv_nxt = self.rcv_nxt
+            if seq == rcv_nxt:
+                rcv_nxt += 1
+                ranges = self._ranges
+                if ranges and ranges[0][0] == rcv_nxt:
+                    rcv_nxt = ranges.pop(0)[1]
+                self.rcv_nxt = rcv_nxt
+            elif seq > rcv_nxt:
+                self._insert(seq)
+            else:
+                self.duplicates += 1
+            sack = () if not self._ranges else self._sack_blocks(seq)
+            # Packet.ack pool draw inlined (same stores, same uid draw).
+            if ack_pool:
+                ackpkt = ack_pool.pop()
+                ackpkt._in_pool = False
+                ackpkt.generation += 1
+                ackpkt.flow = packet.flow
+                ackpkt.sent_at = now
+                ackpkt.ack_next = self.rcv_nxt
+                ackpkt.echo_ts = packet.sent_at
+                ackpkt.echo_retransmit = packet.retransmit
+                ackpkt.ecn_echo = packet.ce
+                ackpkt.sack = sack
+                ackpkt.uid = next(_packet_ids)
+            else:
+                ackpkt = make_ack(
+                    packet.flow,
+                    self.rcv_nxt,
+                    now,
+                    echo_ts=packet.sent_at,
+                    echo_retransmit=packet.retransmit,
+                    sack=sack,
+                    ecn_echo=packet.ce,
+                )
+            append(ackpkt)
+        self.data_packets += data_packets
+        self.data_bytes += data_bytes
+        # The receiver is the terminal consumer of data packets (upstream
+        # components record scalars only), so the batch path returns them
+        # to the free list before forwarding the ACKs — the unbatched
+        # reference engine never reaches here, so its allocation pattern
+        # is untouched.
+        Packet.recycle_data(packets)
+        if acks:
+            self._ack_path_batch.receive_batch(acks)
+
+    def receive_one(self, packet: Packet) -> None:
+        """Fused single-packet path for demux singleton runs.
+
+        Same bookkeeping as :meth:`receive` with the common in-order case
+        flattened: the SACK scan is skipped while no out-of-order ranges
+        exist, the ACK rides the batch-capable return path (reserving the
+        exact seq ``receive`` would), and the consumed data packet is
+        recycled.  Only the batched engine routes here (via
+        :meth:`FlowDemux.receive_batch`), so the legacy engine keeps its
+        allocation pattern.
+        """
+        if packet.kind is not PacketKind.DATA:
+            return
+        self.data_packets += 1
+        self.data_bytes += packet.size
+        seq = packet.seq
+        rcv_nxt = self.rcv_nxt
+        if seq == rcv_nxt:
+            rcv_nxt += 1
+            ranges = self._ranges
+            if ranges and ranges[0][0] == rcv_nxt:
+                rcv_nxt = ranges.pop(0)[1]
+            self.rcv_nxt = rcv_nxt
+        elif seq > rcv_nxt:
+            self._insert(seq)
+        else:
+            self.duplicates += 1
+        sack = () if not self._ranges else self._sack_blocks(seq)
+        # Packet.ack pool draw inlined (same stores, same uid draw).
+        ack_pool = Packet._ack_pool
+        if ack_pool:
+            ack = ack_pool.pop()
+            ack._in_pool = False
+            ack.generation += 1
+            ack.flow = packet.flow
+            ack.sent_at = self._sim._now
+            ack.ack_next = self.rcv_nxt
+            ack.echo_ts = packet.sent_at
+            ack.echo_retransmit = packet.retransmit
+            ack.ecn_echo = packet.ce
+            ack.sack = sack
+            ack.uid = next(_packet_ids)
+        else:
+            ack = Packet.ack(
+                packet.flow,
+                self.rcv_nxt,
+                self._sim._now,
+                echo_ts=packet.sent_at,
+                echo_retransmit=packet.retransmit,
+                sack=sack,
+                ecn_echo=packet.ce,
+            )
+        if not packet._in_pool:
+            pool = Packet._data_pool
+            if len(pool) < Packet._DATA_POOL_MAX:
+                packet._in_pool = True
+                pool.append(packet)
+        self._ack_path_one(ack)
 
     def _sack_blocks(self, seq: int) -> tuple[tuple[int, int], ...]:
         """Up to three SACK blocks, the one containing the segment that
@@ -687,15 +1250,21 @@ class FlowDemux:
 
     def __init__(self) -> None:
         self._sinks: dict[FlowId, PacketSink] = {}
+        #: Lazily-resolved single-packet dispatch per flow: the sink's
+        #: ``receive_one`` fast path when it has one, else its plain
+        #: ``receive``.  Invalidated on (re-)registration.
+        self._ones: dict[FlowId, Callable[[Packet], None]] = {}
         self.unroutable = 0
 
     def register(self, flow: FlowId, sink: PacketSink) -> None:
         """Route ``flow``'s packets to ``sink`` (later wins)."""
         self._sinks[flow] = sink
+        self._ones.pop(flow, None)
 
     def unregister(self, flow: FlowId) -> None:
         """Stop routing ``flow``; unknown flows are ignored."""
         self._sinks.pop(flow, None)
+        self._ones.pop(flow, None)
 
     def receive(self, packet: Packet) -> None:
         sink = self._sinks.get(packet.flow)
@@ -703,3 +1272,38 @@ class FlowDemux:
             self.unroutable += 1
             return
         sink.receive(packet)
+
+    def receive_batch(self, packets: list[Packet]) -> None:
+        """Route a same-instant batch, merging *consecutive* same-flow
+        runs into one sink call (merging across an unrelated packet would
+        reorder traversals the unbatched engine keeps in order)."""
+        sinks = self._sinks
+        ones = self._ones
+        n = len(packets)
+        i = 0
+        while i < n:
+            packet = packets[i]
+            flow = packet.flow
+            j = i + 1
+            while j < n and packets[j].flow == flow:
+                j += 1
+            sink = sinks.get(flow)
+            if sink is None:
+                self.unroutable += j - i
+            elif j - i == 1:
+                one = ones.get(flow)
+                if one is None:
+                    one = getattr(sink, "receive_one", None)
+                    if one is None:
+                        one = sink.receive
+                    ones[flow] = one
+                one(packet)
+            else:
+                batch = getattr(sink, "receive_batch", None)
+                if batch is not None:
+                    batch(packets[i:j])
+                else:
+                    receive = sink.receive
+                    for k in range(i, j):
+                        receive(packets[k])
+            i = j

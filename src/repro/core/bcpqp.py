@@ -25,6 +25,8 @@ from repro.sim.simulator import Simulator
 from repro.sim.timer import Timer
 from repro.units import MSS, ms
 
+_TWO_MSS = 2.0 * MSS
+
 
 class BCPQP(PQP):
     """Burst-controlled PQP.
@@ -144,6 +146,102 @@ class BCPQP(PQP):
         self._accepted_window[queue] = 0.0
         self._arrived_window[queue] = 0.0
         self.cost.charge(Op.ALU, 3)
+
+    def receive_batch(self, packets: list[Packet]) -> None:
+        """Fused batch entry point with the BC-PQP window hooks inlined.
+
+        The generic :meth:`PQP.receive_batch` would dispatch
+        ``_arrived``/``_accepted`` per packet; this override folds both
+        hooks (and ``_maybe_roll_window``) into the decision loop in
+        restricted compilable style — flat locals, branches instead of
+        ``max()``, cost charges accumulated and posted once.  Float
+        operations on the window state happen on the same values in the
+        same order as the per-packet hooks, and cost counts are
+        integer-valued (commutative), so the fused loop is
+        bit-identical to the unbatched path — which stays the executable
+        reference via ``_on_packet``.
+        """
+        n = len(packets)
+        stats = self.stats
+        stats.arrived_packets += n
+        queues = self.queues
+        queue_of = self._classifier.queue_of
+        advance = queues.advance
+        try_enqueue = queues.try_enqueue
+        fluid_rate_of = queues.fluid_rate_of
+        now = self._sim._now
+        fraction = self._ecn_mark_fraction
+        period = self.period
+        theta_plus = self.theta_plus
+        theta_minus = self.theta_minus
+        accepted_window = self._accepted_window
+        arrived_window = self._arrived_window
+        window_start = self._window_start
+        accepted = self._accept_scratch
+        accepted.clear()
+        append = accepted.append
+        arrived_bytes = 0
+        alu = 0
+        drops = 0
+        drop_bytes = 0
+        for packet in packets:
+            size = packet.size
+            arrived_bytes += size
+            qi = queue_of(packet.flow)
+            before = queues.drain_recomputes
+            advance(now)
+            alu += 3 + 2 * (queues.drain_recomputes - before)
+            # _arrived: roll the window on the queue's own clock first.
+            elapsed = now - window_start[qi]
+            if elapsed >= period:
+                floor = theta_minus * fluid_rate_of(qi) * elapsed
+                if arrived_window[qi] < floor and queues.magic_bytes(qi) > 0:
+                    queues.reclaim_magic(qi)
+                    self.magic_reclaims += 1
+                window_start[qi] = now
+                accepted_window[qi] = 0.0
+                arrived_window[qi] = 0.0
+                alu += 3
+            arrived_window[qi] += size
+            if try_enqueue(qi, size):
+                # _accepted: upper-threshold (magic fill) check.
+                acc = accepted_window[qi] + size
+                accepted_window[qi] = acc
+                x_i = fluid_rate_of(qi) * period
+                alu += 3
+                ceiling = theta_plus * x_i
+                slack = x_i + _TWO_MSS
+                if ceiling < slack:
+                    ceiling = slack
+                if acc > ceiling:
+                    if queues.fill_with_magic(qi) > 0:
+                        self.magic_fills += 1
+                        alu += 2
+                    window_start[qi] = now
+                    accepted_window[qi] = 0.0
+                    arrived_window[qi] = 0.0
+                if (
+                    fraction is not None
+                    and packet.ecn_capable
+                    and queues.length(qi) > fraction * queues.capacity(qi)
+                ):
+                    packet.ce = True
+                    self.ecn_marked_packets += 1
+                append(packet)
+            else:
+                drops += 1
+                drop_bytes += size
+                per_queue = stats.per_queue_drops
+                per_queue[qi] = per_queue.get(qi, 0) + 1
+        stats.arrived_bytes += arrived_bytes
+        cost = self.cost
+        cost.charge(Op.MAP, n)
+        cost.charge(Op.ALU, alu)
+        if drops:
+            stats.dropped_packets += drops
+            stats.dropped_bytes += drop_bytes
+        if accepted:
+            self._forward_batch(accepted)
 
     # ------------------------------------------------------------------
     # PQP hooks

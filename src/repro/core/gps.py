@@ -231,6 +231,16 @@ class VirtualTimeGps:
         """Drain up to ``now``; returns the number of linear pieces spanned
         (queue-empty boundaries crossed, plus the final partial piece while
         anything was occupied) — the reference loop's recompute count."""
+        if now == self._clock:
+            # Zero-width advance (repeat arrivals at one instant): no
+            # virtual time elapses, and a valid queue-empty event at
+            # exactly the current clock cannot exist — an active leaf's
+            # finish time is strictly in the future (positive bytes /
+            # positive slope), and entries already due were consumed by
+            # the advance that reached this clock.  Skipping the scan
+            # defers only the lazy stale-entry pops, which the next
+            # real advance performs identically.
+            return 0
         pieces = 0
         while True:
             event = self._next_event(now)

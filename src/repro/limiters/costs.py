@@ -51,6 +51,16 @@ class Op(Enum):
     #: Scheduler bookkeeping (DRR deficit/cursor updates).
     SCHED = "sched"
 
+    #: Positional index into :class:`CostMeter`'s counter list.  Plain
+    #: attribute reads beat ``Enum.__hash__`` on the per-packet charge
+    #: path; counts and totals are unchanged.
+    index: int
+
+
+for _index, _op in enumerate(Op):
+    _op.index = _index
+_OPS = tuple(Op)
+
 
 @dataclass(frozen=True)
 class CostTable:
@@ -72,20 +82,21 @@ class CostMeter:
     """Per-limiter accumulator of primitive-operation counts."""
 
     def __init__(self) -> None:
-        self._counts: dict[Op, float] = {op: 0.0 for op in Op}
+        self._counts: list[float] = [0.0] * len(_OPS)
 
     def charge(self, op: Op, count: float = 1.0) -> None:
         """Record ``count`` operations of class ``op``."""
-        self._counts[op] += count
+        self._counts[op.index] += count
 
     def count(self, op: Op) -> float:
         """Total operations recorded for ``op``."""
-        return self._counts[op]
+        return self._counts[op.index]
 
     def cycles(self, table: CostTable | None = None) -> float:
         """Total modeled cycles under ``table`` (default prices)."""
         table = table or CostTable()
-        return sum(table.price(op) * n for op, n in self._counts.items())
+        counts = self._counts
+        return sum(table.price(op) * counts[op.index] for op in _OPS)
 
     def cycles_per_packet(
         self, packets: int, table: CostTable | None = None
@@ -97,9 +108,11 @@ class CostMeter:
 
     def snapshot(self) -> dict[str, float]:
         """Operation counts keyed by class name (for reports/tests)."""
-        return {op.value: n for op, n in self._counts.items()}
+        counts = self._counts
+        return {op.value: counts[op.index] for op in _OPS}
 
     def reset(self) -> None:
         """Zero all counters."""
-        for op in self._counts:
-            self._counts[op] = 0.0
+        counts = self._counts
+        for i in range(len(counts)):
+            counts[i] = 0.0

@@ -4,8 +4,9 @@ from __future__ import annotations
 
 from collections import deque
 
+from repro.net.fastpath import drain_coalesced
 from repro.net.packet import Packet
-from repro.net.sink import PacketSink
+from repro.net.sink import PacketSink, batch_capable
 from repro.sim.simulator import Simulator
 
 
@@ -52,6 +53,11 @@ class Link:
         # exact firing order).
         self._prop: deque[tuple[float, int, Packet]] = deque()
         self._prop_armed = False
+        self._batch_sink = batch_capable(sink)
+        self._scratch: list[Packet] = []
+        self._deliver_entry = (
+            self._deliver if sim.batch_limit == 1 else self.deliver_batch
+        )
 
         self.forwarded_packets = 0
         self.forwarded_bytes = 0
@@ -72,6 +78,18 @@ class Link:
     def backlog_bytes(self) -> int:
         """Bytes currently waiting (not counting the packet in service)."""
         return self._queued_bytes
+
+    def receive_batch(self, packets: list[Packet]) -> None:
+        """Accept a same-instant batch.
+
+        Serialization start (``call_after``) consumes a seq per packet,
+        so the enqueue side must run strictly per-packet to preserve the
+        unbatched engine's seq assignment — the batching win for a link
+        is on the *delivery* side (:meth:`deliver_batch`).
+        """
+        receive = self.receive
+        for packet in packets:
+            receive(packet)
 
     def receive(self, packet: Packet) -> None:
         """Accept a packet: transmit now, queue, or drop."""
@@ -106,7 +124,7 @@ class Link:
             self._prop.append((time, seq, packet))
             if not self._prop_armed:
                 self._prop_armed = True
-                sim.call_at_reserved(time, seq, self._deliver)
+                sim.call_at_reserved(time, seq, self._deliver_entry)
         else:
             self._sink.receive(packet)
         if self._queue:
@@ -136,3 +154,12 @@ class Link:
                 continue
             sim.call_at_reserved(time, seq, self._deliver)
             return
+
+    def deliver_batch(self) -> None:
+        """Batched drain of the propagation FIFO (see
+        :func:`repro.net.fastpath.drain_coalesced`)."""
+        if drain_coalesced(
+            self._sim, self._prop, self._batch_sink, self.deliver_batch,
+            self._scratch,
+        ):
+            self._prop_armed = False

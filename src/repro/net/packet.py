@@ -36,6 +36,20 @@ class FlowId:
     aggregate: int
     slot: int
     incarnation: int = 0
+    #: Cached hash — flow ids key every per-packet dict lookup
+    #: (classifier, demux, middlebox), so the tuple-hash is paid once at
+    #: construction instead of per lookup.  Same formula as the
+    #: dataclass-generated hash (compare fields only), so dict iteration
+    #: orders are unchanged.
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "_hash", hash((self.aggregate, self.slot, self.incarnation))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __str__(self) -> str:
         return f"agg{self.aggregate}.s{self.slot}.i{self.incarnation}"
@@ -113,7 +127,15 @@ class Packet:
     #: point of consumption is sound.  Bounded so a pathological burst
     #: cannot pin memory.
     _ack_pool: ClassVar[list["Packet"]] = []
-    _ACK_POOL_MAX: ClassVar[int] = 512
+    _ACK_POOL_MAX: ClassVar[int] = 2048
+
+    #: Free list for DATA packets.  The receiver is the terminal consumer
+    #: of a data packet (downstream components keep only scalar columns),
+    #: so it recycles the ones it absorbs batch-at-a-time.  The pool only
+    #: ever fills from the batched receive path, so the unbatched
+    #: reference engine always falls through to fresh construction.
+    _data_pool: ClassVar[list["Packet"]] = []
+    _DATA_POOL_MAX: ClassVar[int] = 4096
 
     @classmethod
     def data(
@@ -126,7 +148,31 @@ class Packet:
         retransmit: bool = False,
         ecn_capable: bool = False,
     ) -> "Packet":
-        """Construct a data packet."""
+        """Construct a data packet.
+
+        Draws from the DATA free list when possible; a reissued packet is
+        fully re-initialised (fresh uid included) and bumps its
+        ``generation``.
+        """
+        pool = cls._data_pool
+        if pool:
+            # The pool holds only DATA packets, and no component ever
+            # writes the ACK-only fields (ack_next/echo_*/ecn_echo/sack)
+            # of a data packet — those still hold their construction
+            # defaults, so only the data-path fields are re-initialised.
+            # ``ce`` is the one mid-flight mutation (AQM marking).
+            pkt = pool.pop()
+            pkt._in_pool = False
+            pkt.generation += 1
+            pkt.flow = flow
+            pkt.seq = seq
+            pkt.size = size
+            pkt.sent_at = sent_at
+            pkt.retransmit = retransmit
+            pkt.ecn_capable = ecn_capable
+            pkt.ce = False
+            pkt.uid = next(_packet_ids)
+            return pkt
         return cls(
             flow=flow,
             kind=PacketKind.DATA,
@@ -157,20 +203,21 @@ class Packet:
         """
         pool = cls._ack_pool
         if pool:
+            # The pool holds only ACK packets, and nothing ever writes a
+            # pure ACK's data-path fields (seq/size/retransmit/
+            # ecn_capable), so those still hold the ACK construction
+            # values and are skipped; ``ce`` is reset defensively (AQMs
+            # mark only ECN-capable data, but the field is mutable
+            # mid-flight by contract).
             pkt = pool.pop()
             pkt._in_pool = False
             pkt.generation += 1
             pkt.flow = flow
-            pkt.kind = PacketKind.ACK
-            pkt.seq = 0
-            pkt.size = ACK_SIZE
+            pkt.ce = False
             pkt.sent_at = sent_at
             pkt.ack_next = ack_next
             pkt.echo_ts = echo_ts
             pkt.echo_retransmit = echo_retransmit
-            pkt.retransmit = False
-            pkt.ecn_capable = False
-            pkt.ce = False
             pkt.ecn_echo = ecn_echo
             pkt.sack = sack
             pkt.uid = next(_packet_ids)
@@ -201,6 +248,35 @@ class Packet:
         if len(pool) < cls._ACK_POOL_MAX:
             packet._in_pool = True
             pool.append(packet)
+
+    @classmethod
+    def recycle_acks(cls, packets: list["Packet"]) -> None:
+        """Batch form of :meth:`recycle_ack`: return every consumed ACK
+        of a delivered batch to the free list in one pass.  Non-ACKs and
+        already-pooled packets are skipped by the same latch."""
+        pool = cls._ack_pool
+        limit = cls._ACK_POOL_MAX
+        for packet in packets:
+            if packet.kind is PacketKind.ACK and not packet._in_pool:
+                if len(pool) < limit:
+                    packet._in_pool = True
+                    pool.append(packet)
+
+    @classmethod
+    def recycle_data(cls, packets: list["Packet"]) -> None:
+        """Return consumed DATA packets to the free list in one pass.
+
+        Callers must be the terminal consumer (nothing downstream retains
+        a reference); the ``_in_pool`` latch makes double-recycling a
+        no-op, mirroring :meth:`recycle_acks`.
+        """
+        pool = cls._data_pool
+        limit = cls._DATA_POOL_MAX
+        for packet in packets:
+            if packet.kind is PacketKind.DATA and not packet._in_pool:
+                if len(pool) < limit:
+                    packet._in_pool = True
+                    pool.append(packet)
 
     @property
     def is_data(self) -> bool:

@@ -21,9 +21,12 @@ from __future__ import annotations
 
 from collections import deque
 
+from repro.net.fastpath import drain_coalesced
 from repro.net.packet import Packet
-from repro.net.sink import PacketSink
-from repro.sim.simulator import Simulator
+from repro.net.sink import PacketSink, batch_capable
+from repro.sim.simulator import EventHandle, Simulator
+
+import heapq
 
 
 class Pipe:
@@ -44,6 +47,15 @@ class Pipe:
         #: arrival order == delivery order (constant delay).
         self._pending: deque[tuple[float, int, Packet]] = deque()
         self._armed = False
+        # Batched engine plumbing: the delivery event latched at
+        # construction (batch=1 keeps the legacy per-packet drain as the
+        # executable reference engine), a sink guaranteed to accept
+        # batches, and the reusable batch scratch list.
+        self._batch_sink = batch_capable(sink)
+        self._scratch: list[Packet] = []
+        self._deliver_entry = (
+            self._deliver if sim.batch_limit == 1 else self.deliver_batch
+        )
 
     @property
     def delay(self) -> float:
@@ -65,9 +77,109 @@ class Pipe:
             self._pending.append((time, seq, packet))
             if not self._armed:
                 self._armed = True
-                sim.call_at_reserved(time, seq, self._deliver)
+                sim.call_at_reserved(time, seq, self._deliver_entry)
         else:
             self._sink.receive(packet)
+
+    def receive_fast(self, packet: Packet) -> None:
+        """:meth:`receive` with the clock read and seq reservation
+        inlined — identical bookkeeping, fewer attribute/property hops.
+        Batched-engine fused senders latch this entry; the legacy engine
+        never routes here."""
+        self.forwarded_packets += 1
+        self.forwarded_bytes += packet.size
+        if self._delay > 0:
+            sim = self._sim
+            time = sim._now + self._delay
+            seq = sim._seq
+            sim._seq = seq + 1
+            self._pending.append((time, seq, packet))
+            if not self._armed:
+                self._armed = True
+                # call_at_reserved inlined (identical bookkeeping).
+                pool = sim._handle_pool
+                if pool:
+                    handle = pool.pop()
+                    handle.generation += 1
+                    handle.callback = self._deliver_entry
+                    handle.args = ()
+                else:
+                    handle = EventHandle(0.0, 0, self._deliver_entry, (), sim)
+                    handle.pooled = True
+                handle.time = time
+                handle.seq = seq
+                heap = sim._heap
+                heapq.heappush(heap, (time, seq, handle))
+                sim._heap_pushes += 1
+                sim._live += 1
+                if len(heap) > sim._peak_heap:
+                    sim._peak_heap = len(heap)
+        else:
+            self._sink.receive(packet)
+
+    def receive_batch(self, packets: list[Packet]) -> None:
+        """Accept a same-instant batch in one call.
+
+        Seq reservation is *consecutive*: in the unbatched engine the
+        packets of a batch arrive back-to-back with no other seq
+        consumer between them (the stages upstream of a pipe reserve no
+        seqs while forwarding), so claiming ``n`` consecutive numbers
+        here assigns each packet the exact seq it would have drawn
+        one-at-a-time.
+        """
+        n = len(packets)
+        if n == 0:
+            return
+        self.forwarded_packets += n
+        size = 0
+        if self._delay > 0:
+            sim = self._sim
+            time = sim._now + self._delay
+            seq = sim._seq
+            sim._seq = seq + n
+            pending = self._pending
+            append = pending.append
+            for packet in packets:
+                size += packet.size
+                append((time, seq, packet))
+                seq += 1
+            self.forwarded_bytes += size
+            if not self._armed:
+                self._armed = True
+                # call_at_reserved inlined (identical bookkeeping).
+                head_seq = seq - n
+                pool = sim._handle_pool
+                if pool:
+                    handle = pool.pop()
+                    handle.generation += 1
+                    handle.callback = self._deliver_entry
+                    handle.args = ()
+                else:
+                    handle = EventHandle(0.0, 0, self._deliver_entry, (), sim)
+                    handle.pooled = True
+                handle.time = time
+                handle.seq = head_seq
+                heap = sim._heap
+                heapq.heappush(heap, (time, head_seq, handle))
+                sim._heap_pushes += 1
+                sim._live += 1
+                if len(heap) > sim._peak_heap:
+                    sim._peak_heap = len(heap)
+        else:
+            for packet in packets:
+                size += packet.size
+            self.forwarded_bytes += size
+            self._batch_sink.receive_batch(packets)
+
+    def deliver_batch(self) -> None:
+        """Batched drain: hand guarded same-instant prefixes of the FIFO
+        to the sink in single ``receive_batch`` calls (see
+        :func:`repro.net.fastpath.drain_coalesced`)."""
+        if drain_coalesced(
+            self._sim, self._pending, self._batch_sink, self.deliver_batch,
+            self._scratch,
+        ):
+            self._armed = False
 
     def _deliver(self) -> None:
         """Deliver the head, then drain in-order packets inline for as

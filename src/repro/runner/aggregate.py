@@ -59,6 +59,13 @@ class AggregateConfig:
     #: the field participates in the config ``repr`` so validated and
     #: unvalidated runs never share cache entries.
     validate: bool = False
+    #: Delivery batching (``Simulator(batch_limit=...)``): ``None`` =
+    #: unbounded batches (the default engine), ``1`` = the legacy
+    #: per-packet path, ``K`` = cap batches at K.  Outcomes are
+    #: byte-identical for every setting (pinned by
+    #: ``tests/test_engine_equivalence.py`` and the differential
+    #: fuzzer); the field participates in the cache token regardless.
+    batch: int | None = None
 
     def __post_init__(self) -> None:
         # Tolerate list inputs (call sites build grids with lists) while
@@ -183,7 +190,7 @@ def simulate_aggregate(config: AggregateConfig) -> AggregateOutcome:
         from repro.validate import InvariantChecker
 
         checker = InvariantChecker()
-    sim = Simulator(validate=checker)
+    sim = Simulator(validate=checker, batch_limit=config.batch)
     limiter, scenario = build_scenario(config, sim)
     scenario.run()
     if checker is not None:

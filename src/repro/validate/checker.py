@@ -114,6 +114,44 @@ class InvariantChecker:
 
         limiter.receive = wrapped_receive
 
+        def wrapped_receive_batch(packets: Any) -> None:
+            # Instance attribute shadows the fused class-level batch
+            # path, so a validated run takes the per-packet wrapped
+            # route — every per-packet invariant still fires, and the
+            # validated run stays bit-identical to batch=1 (the fused
+            # paths are proven equivalent separately, by the equivalence
+            # pins and the differential fuzzer).
+            stats = limiter.stats
+            arrived_packets = stats.arrived_packets
+            arrived_bytes = stats.arrived_bytes
+            batch_bytes = 0
+            for packet in packets:
+                batch_bytes += packet.size
+                wrapped_receive(packet)
+            # Batch-aware invariants: the whole batch (and nothing else)
+            # was accounted across this deliver_batch() hand-off...
+            self._ensure(
+                stats.arrived_packets - arrived_packets == len(packets),
+                f"{limiter.name}: batch packet accounting broken: "
+                f"{stats.arrived_packets - arrived_packets} arrivals "
+                f"recorded for a {len(packets)}-packet batch",
+            )
+            self._ensure(
+                stats.arrived_bytes - arrived_bytes == batch_bytes,
+                f"{limiter.name}: batch byte accounting broken: "
+                f"{stats.arrived_bytes - arrived_bytes} bytes recorded "
+                f"for a {batch_bytes}-byte batch",
+            )
+            # ... and the engine's live/cancelled tiling of the heap
+            # still holds *mid-drain*, while the delivery event that
+            # carried this batch is popped but its successors are not
+            # yet re-armed.
+            sim = getattr(limiter, "_sim", None)
+            if sim is not None and sim in self._simulators:
+                self._check_simulator(sim)
+
+        limiter.receive_batch = wrapped_receive_batch
+
         sweep = getattr(type(limiter), "_on_window_sweep", None)
         if sweep is not None:
             original_sweep = sweep.__get__(limiter)
@@ -147,6 +185,12 @@ class InvariantChecker:
             self._check_sender(sender)
 
         sender.receive = wrapped_receive
+
+        def wrapped_receive_batch(packets: Any) -> None:
+            for packet in packets:
+                wrapped_receive(packet)
+
+        sender.receive_batch = wrapped_receive_batch
 
     def attach_middlebox(self, middlebox: Any) -> None:
         """Wrap dispatch accounting.  Assumes registered limiters receive
@@ -182,6 +226,12 @@ class InvariantChecker:
             self._check_middlebox(middlebox, state)
 
         middlebox.receive = wrapped_receive
+
+        def wrapped_receive_batch(packets: Any) -> None:
+            for packet in packets:
+                wrapped_receive(packet)
+
+        middlebox.receive_batch = wrapped_receive_batch
 
     # ------------------------------------------------------------------
     # Reporting

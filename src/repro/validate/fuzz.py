@@ -88,6 +88,12 @@ class FuzzCase:
     weights: tuple[float, ...] | None
     priorities: tuple[int, ...] | None
     baseline: str
+    #: Delivery batch limit for the case's primary runs (``None`` =
+    #: unbounded batched engine, ``1`` = legacy per-packet, ``K`` = cap).
+    #: Corpus JSON predating the field deserializes to the batched
+    #: default.  Every case is additionally re-run at the *opposite*
+    #: granularity and diffed bit-for-bit (:func:`_diff_batch`).
+    batch: int | None = None
 
     def __post_init__(self) -> None:
         # JSON round-trips tuples as lists; normalize back.
@@ -173,6 +179,11 @@ def generate_case(seed: int, index: int) -> FuzzCase:
     if policy_kind == "prioritized":
         # Mostly priority 0 so lower classes aren't always fully starved.
         priorities = tuple(rng.choice((0, 0, 1)) for _ in range(n))
+    # Batch-limit draw (last, so earlier draws match the pre-batching
+    # corpus): the interesting sizes are the two engines' endpoints
+    # (1 = per-packet, None = unbounded) plus tiny and mid-size caps
+    # that force batch boundaries at awkward places.
+    batch = rng.choice((1, 2, rng.randint(2, 32), None))
     return FuzzCase(
         index=index,
         seed=rng.randint(1, 2**31),
@@ -186,6 +197,7 @@ def generate_case(seed: int, index: int) -> FuzzCase:
         weights=weights,
         priorities=priorities,
         baseline=BASELINES[index % len(BASELINES)],
+        batch=batch,
     )
 
 
@@ -208,11 +220,13 @@ class CaseReport:
         return bool(self.violations or self.divergences or self.crash)
 
 
-def _run_engine(case: FuzzCase, scheme: str, service: str) -> dict:
+def _run_engine(
+    case: FuzzCase, scheme: str, service: str, batch: int | None = None
+) -> dict:
     """One simulation with the checker attached; returns comparable
     outcome numbers plus any invariant violations."""
     checker = InvariantChecker(fail_fast=False)
-    sim = Simulator(validate=checker)
+    sim = Simulator(validate=checker, batch_limit=batch)
     limiter, scenario = build_scenario(case.config(scheme, service), sim)
     scenario.run()
     checker.finalize(traces=(scenario.trace,))
@@ -275,22 +289,51 @@ def _diff_loose(
             )
 
 
+def _diff_batch(
+    scheme: str,
+    batch_a: int | None,
+    batch_b: int | None,
+    a: dict,
+    b: dict,
+    divergences: list[str],
+) -> None:
+    """Batched vs unbatched engines are the *same* simulation computed at
+    different delivery granularities: every outcome — including the pure
+    float ``drained_bytes`` accumulator — must be bit-for-bit equal."""
+    for key in _STRICT_KEYS + ("drained_bytes",):
+        if a[key] != b[key]:
+            divergences.append(
+                f"{scheme}: batch={batch_a} vs batch={batch_b} diverge "
+                f"on {key}: {a[key]!r} != {b[key]!r}"
+            )
+
+
 def run_case(case: FuzzCase) -> CaseReport:
     """Run one case under every engine combination and diff the results."""
     violations: list[str] = []
     divergences: list[str] = []
     simulations = 0
+    other_batch = 1 if case.batch != 1 else None
     for scheme in PHANTOM_SCHEMES:
         outcomes: dict[str, dict] = {}
         for service in ENGINES:
-            outcome = _run_engine(case, scheme, service)
+            outcome = _run_engine(case, scheme, service, batch=case.batch)
             simulations += 1
             outcomes[service] = outcome
             for message in outcome["violations"]:
                 violations.append(f"{scheme}/{service}: {message}")
         _diff_strict(scheme, outcomes["fluid-ref"], outcomes["fluid"], divergences)
         _diff_loose(scheme, outcomes["fluid"], outcomes["quantum"], divergences)
-    baseline_outcome = _run_engine(case, case.baseline, "fluid")
+        # Differential batching tier: the same scheme/service at the
+        # opposite delivery granularity must match bit for bit.
+        alt = _run_engine(case, scheme, "fluid", batch=other_batch)
+        simulations += 1
+        for message in alt["violations"]:
+            violations.append(f"{scheme}/fluid/batch={other_batch}: {message}")
+        _diff_batch(
+            scheme, case.batch, other_batch, outcomes["fluid"], alt, divergences
+        )
+    baseline_outcome = _run_engine(case, case.baseline, "fluid", batch=case.batch)
     simulations += 1
     for message in baseline_outcome["violations"]:
         violations.append(f"{case.baseline}: {message}")

@@ -1,0 +1,162 @@
+"""Batched packet path: ordering and equivalence properties.
+
+The batched engine's contract is that a batch is *bookkeeping*, not a
+semantic unit: draining a same-instant prefix of a pipe/link FIFO in one
+callback must produce exactly the global event interleaving the
+per-packet engine would have produced.  These tests drive randomized
+workloads of packet arrivals and competing timer events through a
+:class:`~repro.net.pipe.Pipe` under every interesting batch limit
+(1 = legacy per-packet, tiny caps that split batches at awkward places,
+and the unbounded default) and require the observed delivery/timer log
+to be *identical* across all of them.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.packet import FlowId, Packet
+from repro.net.pipe import Pipe
+from repro.sim.simulator import Simulator
+
+pytestmark = pytest.mark.batch
+
+#: Batch limits under test: the two engine endpoints plus boundary-forcing
+#: caps (a cap of 2 or 3 splits every burst into multiple drains).
+BATCH_LIMITS = (1, 2, 3, None)
+
+FLOW = FlowId(aggregate=0, slot=0)
+
+
+class _Recorder:
+    """Terminal sink logging each delivery as ("pkt", time, seq)."""
+
+    def __init__(self, sim: Simulator, log: list) -> None:
+        self._sim = sim
+        self._log = log
+
+    def receive(self, packet: Packet) -> None:
+        self._log.append(("pkt", self._sim.now, packet.seq))
+
+
+def _run_scenario(batch, arrivals, timers, delay):
+    """One simulation: ``arrivals`` are (time, count) packet bursts into a
+    pipe, ``timers`` are competing pure events; returns the merged log."""
+    sim = Simulator(batch_limit=batch)
+    log: list = []
+    pipe = Pipe(sim, delay, _Recorder(sim, log))
+    seq = 0
+    for time, count in arrivals:
+        # Unique seq per packet, stable across batch limits.
+        burst = [seq + i for i in range(count)]
+        seq += count
+
+        def fire(t=time, burst=tuple(burst)):
+            for s in burst:
+                pipe.receive(Packet.data(FLOW, seq=s, sent_at=t))
+
+        sim.call_at(time, fire)
+    for time in timers:
+        sim.call_at(time, lambda t=time: log.append(("timer", t)))
+    sim.run()
+    return log
+
+
+@given(
+    arrivals=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=0.01, allow_nan=False),
+            st.integers(min_value=1, max_value=5),
+        ),
+        min_size=1,
+        max_size=8,
+    ),
+    timers=st.lists(
+        st.floats(min_value=0.0, max_value=0.02, allow_nan=False),
+        max_size=6,
+    ),
+    delay=st.sampled_from((0.0, 0.001, 0.0042)),
+)
+@settings(max_examples=40, deadline=None)
+def test_batch_boundaries_preserve_global_event_order(arrivals, timers, delay):
+    """Property: for random bursts of pipe arrivals interleaved with
+    competing timer events — including exact time ties, where ordering
+    falls to reserved seqs — every batch limit yields the identical
+    globally-ordered log."""
+    reference = _run_scenario(1, arrivals, timers, delay)
+    for batch in BATCH_LIMITS[1:]:
+        assert _run_scenario(batch, arrivals, timers, delay) == reference
+
+
+def test_batch_one_uses_legacy_drain():
+    """``batch=1`` must keep the per-packet reference path: no batched
+    deliveries are ever counted."""
+    sim = Simulator(batch_limit=1)
+    log: list = []
+    pipe = Pipe(sim, 0.001, _Recorder(sim, log))
+    for i in range(10):
+        pipe.receive(Packet.data(FLOW, seq=i, sent_at=0.0))
+    sim.run()
+    assert [entry[2] for entry in log] == list(range(10))
+    assert sim.batched_deliveries == 0
+
+
+def test_unbounded_batch_drains_same_instant_prefix_in_one_call():
+    """A same-instant burst behind a constant-delay pipe arrives as one
+    batched drain under the unbounded engine."""
+    sim = Simulator()
+    batches: list[list[int]] = []
+
+    class BatchRecorder:
+        def receive(self, packet: Packet) -> None:
+            batches.append([packet.seq])
+
+        def receive_batch(self, packets: list[Packet]) -> None:
+            batches.append([p.seq for p in packets])
+
+    pipe = Pipe(sim, 0.001, BatchRecorder())
+    for i in range(10):
+        pipe.receive(Packet.data(FLOW, seq=i, sent_at=0.0))
+    sim.run()
+    assert batches == [list(range(10))]
+
+
+class TestDataPool:
+    """DATA-packet free list: recycling and reissue invariants."""
+
+    def setup_method(self) -> None:
+        Packet._data_pool.clear()
+
+    def teardown_method(self) -> None:
+        Packet._data_pool.clear()
+
+    def test_recycle_data_pools_only_data_and_latches(self):
+        data = Packet.data(FLOW, seq=1, sent_at=0.5)
+        ack = Packet.ack(FLOW, 2, 0.6, echo_ts=0.5, echo_retransmit=False)
+        Packet.recycle_data([data, ack, data])
+        assert Packet._data_pool == [data]
+        assert data._in_pool and not ack._in_pool
+
+    def test_reissue_reinitializes_data_fields_and_bumps_generation(self):
+        data = Packet.data(
+            FLOW, seq=7, sent_at=0.5, retransmit=True, ecn_capable=True
+        )
+        data.ce = True  # mid-flight AQM mark must not survive reissue
+        old_uid, old_gen = data.uid, data.generation
+        Packet.recycle_data([data])
+        fresh = Packet.data(FlowId(1, 2), seq=9, sent_at=1.25)
+        assert fresh is data
+        assert fresh.generation == old_gen + 1
+        assert fresh.uid != old_uid
+        assert (fresh.flow, fresh.seq, fresh.sent_at) == (FlowId(1, 2), 9, 1.25)
+        assert not (fresh.retransmit or fresh.ecn_capable or fresh.ce)
+        assert not fresh._in_pool
+
+    def test_pool_is_bounded(self):
+        packets = [
+            Packet.data(FLOW, seq=i, sent_at=0.0)
+            for i in range(Packet._DATA_POOL_MAX + 10)
+        ]
+        Packet.recycle_data(packets)
+        assert len(Packet._data_pool) == Packet._DATA_POOL_MAX

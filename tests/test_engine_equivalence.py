@@ -61,3 +61,43 @@ def test_outcomes_identical_to_pre_overhaul_engine(scheme, ccs):
     )
     # Exact equality is the contract: the engines are the same simulation.
     assert got == expected
+
+
+@pytest.mark.batch
+@pytest.mark.parametrize(
+    "scheme,ccs", sorted(PINNED), ids=lambda v: v if isinstance(v, str) else "+".join(v)
+)
+def test_batched_engine_matches_unbatched(scheme, ccs):
+    """The batched packet path is the same simulation at a different
+    delivery granularity: every outcome metric must be bit-for-bit equal
+    between ``batch=1`` (legacy per-packet reference) and the unbounded
+    batched engine, across all five schemes."""
+    specs = [
+        FlowSpec(slot=i, cc=cc, rtt=ms(20 + 15 * i)) for i, cc in enumerate(ccs)
+    ]
+    results = [
+        common.run_aggregate(
+            scheme, specs, rate=mbps(5), max_rtt=ms(80), horizon=6.0,
+            warmup=1.0, batch=batch,
+        )
+        for batch in (1, None)
+    ]
+    unbatched, batched = results
+    assert (
+        unbatched.mean_normalized_throughput,
+        unbatched.peak_normalized_throughput,
+        unbatched.drop_rate,
+        unbatched.fairness,
+    ) == (
+        batched.mean_normalized_throughput,
+        batched.peak_normalized_throughput,
+        batched.drop_rate,
+        batched.fairness,
+    )
+    # And both match the pre-overhaul pinned figures.
+    assert (
+        batched.mean_normalized_throughput,
+        batched.peak_normalized_throughput,
+        batched.drop_rate,
+        batched.fairness,
+    ) == PINNED[(scheme, ccs)]

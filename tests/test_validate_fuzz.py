@@ -20,7 +20,9 @@ from repro.validate.fuzz import (
 
 pytestmark = pytest.mark.validate
 
-#: Small fixed budget: a few cases through all 7 engine combinations.
+#: Small fixed budget: a few cases through all 9 engine combinations
+#: (3 services x 2 phantom schemes + 2 opposite-batch re-runs + 1
+#: baseline scheme).
 SMOKE_CASES = 6
 SMOKE_SEED = 1
 
@@ -28,7 +30,7 @@ SMOKE_SEED = 1
 class TestFuzzSmoke:
     def test_corpus_slice_is_clean(self):
         failures, simulations = fuzz(SMOKE_CASES, SMOKE_SEED)
-        assert simulations == SMOKE_CASES * 7
+        assert simulations == SMOKE_CASES * 9
         for failing in failures:
             for message in failing.violations + failing.divergences:
                 print(message)
@@ -43,6 +45,14 @@ class TestFuzzSmoke:
     def test_case_json_round_trip(self):
         case = generate_case(SMOKE_SEED, 4)
         assert FuzzCase.from_json(case.to_json()) == case
+
+    def test_batch_limits_are_drawn(self):
+        # The corpus must exercise both engine endpoints (1 = per-packet,
+        # None = unbounded) plus capped batch sizes.
+        drawn = {generate_case(SMOKE_SEED, i).batch for i in range(24)}
+        assert 1 in drawn
+        assert None in drawn
+        assert any(b is not None and b > 1 for b in drawn)
 
     def test_baselines_rotate(self):
         drawn = {generate_case(SMOKE_SEED, i).baseline
@@ -61,7 +71,7 @@ class TestFuzzSmoke:
 
     def test_single_case_report_shape(self):
         report = run_case(generate_case(SMOKE_SEED, 0))
-        assert report.simulations == 7
+        assert report.simulations == 9
         assert report.violations == []
         assert report.divergences == []
         assert not report.failed
