@@ -12,8 +12,8 @@ three sections:
 
 A second file, ``BENCH_scaling.json``, records the ``scaling`` section:
 wall seconds/packet and modeled cycles/packet for PQP and BC-PQP at
-N ∈ {1, 10, 100, 1000} aggregates — the Figure 5 flatness claim applied
-to our own hot path.
+N ∈ {1, 10, 100, 1000, 10000} aggregates — the Figure 5 flatness claim
+applied to our own hot path.
 
 A third file, ``BENCH_eventloop.json``, records the event-engine
 section: each fig5 saturated cell run end-to-end with the simulator's
@@ -28,17 +28,34 @@ with the per-engine minimum reported (robust to background load), plus
 the speedup against the committed pre-batching ``BENCH_eventloop.json``
 reference clocks (``REFERENCE_UNBATCHED``).
 
+A fifth file, ``BENCH_fleet.json``, records the sharded-fleet section
+(:mod:`repro.fleet`): full end-to-end fleet runs (TCP endpoints, a
+middlebox hosting one limiter per aggregate, merged columnar metrics)
+at N=1000 unsharded (the baseline), N=1000 over 4 shards (whose merged
+digest must be byte-identical to the baseline's — the shard-count
+invariance gate), and N=4000 over 4 shards (whose summed-CPU us/packet
+is gated against the baseline).  A ``headline`` subsection carries the
+big committed run (10^5 aggregates over 100 shards) which ``--check``
+consistency-checks but does not re-run; regenerate it with
+``--fleet-headline``.
+
 ``--check`` runs only those sections and exits non-zero if (a)
 seconds/packet at N=1000 exceeds ``--check-multiple`` (default 3.0)
-times the N=10 value — the guard for the virtual-time drain staying
-O(log N) — or (b) the event-engine gates fail: heap pushes/packet must
-stay >= 1.5x below the pre-overhaul engine on bcpqp (>= 1.3x elsewhere),
-events/packet and peak heap must not creep back up, and bcpqp wall
-us/packet must stay >= 1.3x faster than the pinned pre-overhaul
-reference — or (c) the batch gates fail: bcpqp batched us/packet must
-stay >= --check-min-speedup (default 2.0) times faster than the
-committed pre-batching reference clock *and* under the
-``BATCH_BCPQP_US_MAX`` absolute ceiling (24 us/pkt).
+times the N=10 value, or N=10000 exceeds the same multiple of N=100 —
+the guard for the virtual-time drain staying O(log N) — or (b) the
+event-engine gates fail: heap pushes/packet must stay >= 1.5x below the
+pre-overhaul engine on bcpqp (>= 1.3x elsewhere), events/packet and
+peak heap must not creep back up, and bcpqp wall us/packet must stay
+>= 1.3x faster than the pinned pre-overhaul reference — or (c) the
+batch gates fail: bcpqp batched us/packet must stay >=
+--check-min-speedup (default 2.0) times faster than the committed
+pre-batching reference clock *and* under the ``BATCH_BCPQP_US_MAX``
+absolute ceiling (24 us/pkt) — or (d) the fleet gates fail: the sharded
+N=1000 digest must equal the unsharded baseline's, shard-scaling
+efficiency (baseline us/packet over sharded-4x-fleet us/packet, both in
+summed-CPU terms) must stay >= --check-min-efficiency (default 0.7),
+and the committed headline run's us/packet must stay within
+``FLEET_US_MAX_MULTIPLE`` (2x) of the fresh baseline.
 
 The JSON is the stable interface for tracking this repository's
 performance over time; the pytest-benchmark suite asserts the qualitative
@@ -63,6 +80,8 @@ sys.path.insert(0, str(_REPO_ROOT / "benchmarks"))
 import bench_sim_core  # noqa: E402
 
 from repro.experiments import fig5_efficiency  # noqa: E402
+from repro.experiments.fleet_scale import as_json as fleet_cell_json  # noqa: E402
+from repro.fleet import FleetSpec, run_fleet  # noqa: E402
 from repro.net.packet import FlowId, Packet  # noqa: E402
 from repro.net.sink import NullSink  # noqa: E402
 from repro.runner.supervisor import session_stats  # noqa: E402
@@ -75,7 +94,7 @@ BATCH = 1000
 
 #: The scaling sweep: phantom schemes across aggregate counts.
 SCALING_SCHEMES = ("pqp", "bcpqp")
-SCALING_NS = (1, 10, 100, 1000)
+SCALING_NS = (1, 10, 100, 1000, 10000)
 
 #: Pre-overhaul engine metrics on the fig5 saturated workload (default
 #: 12 s horizon), measured at the commit preceding the event-engine
@@ -133,6 +152,28 @@ REFERENCE_UNBATCHED = {
 #: "47 -> <= 24 us/pkt" target), enforced by ``--check`` alongside the
 #: relative gate.
 BATCH_BCPQP_US_MAX = 24.0
+
+#: Fleet-section cells (full end-to-end sims: TCP endpoints, middlebox,
+#: one limiter per aggregate, merged columnar metrics).  The baseline is
+#: unsharded; the invariance cell re-runs the same fleet over 4 shards
+#: and must merge to a byte-identical digest; the scaled cell quadruples
+#: the population across 4 shards and gates the summed-CPU us/packet.
+FLEET_SEED = 1
+FLEET_BASELINE = {"aggregates": 1000, "shards": 1}
+FLEET_INVARIANCE = {"aggregates": 1000, "shards": 4}
+FLEET_SCALED = {"aggregates": 4000, "shards": 4}
+
+#: Shard-scaling efficiency floor: baseline us/packet over the scaled
+#: cell's us/packet (both summed-CPU, so the gate is meaningful on a
+#: single-core box).  Sharding exists to keep per-packet cost flat as
+#: the population grows; 0.7 allows for per-shard bookkeeping overhead
+#: without letting a superlinear regression back in.
+FLEET_MIN_EFFICIENCY = 0.7
+
+#: The committed headline run's us/packet must stay within this multiple
+#: of the fresh N=1000 unsharded baseline (the acceptance bound for the
+#: 10^5-aggregate run).
+FLEET_US_MAX_MULTIPLE = 2.0
 
 
 def modeled_cycles() -> dict[str, float]:
@@ -223,20 +264,25 @@ def scaling_section(rounds: int, ns: tuple[int, ...] = SCALING_NS) -> dict:
 
 
 def check_scaling(scaling: dict, multiple: float) -> list[str]:
-    """Regression check: N=1000 seconds/packet vs ``multiple`` x N=10."""
+    """Regression check: seconds/packet across two decades of N.
+
+    Two gates per scheme, each spanning a 100x aggregate-count jump:
+    N=1000 vs ``multiple`` x N=10, and N=10000 vs ``multiple`` x N=100.
+    """
     failures = []
     for scheme, per_n in scaling["schemes"].items():
-        base = per_n.get("10")
-        big = per_n.get("1000")
-        if base is None or big is None:
-            continue
-        base_s = base["seconds_per_packet"]
-        big_s = big["seconds_per_packet"]
-        if big_s > multiple * base_s:
-            failures.append(
-                f"{scheme}: {big_s:.3e} s/pkt at N=1000 exceeds "
-                f"{multiple}x the N=10 value ({base_s:.3e})"
-            )
+        for small, big in (("10", "1000"), ("100", "10000")):
+            base = per_n.get(small)
+            top = per_n.get(big)
+            if base is None or top is None:
+                continue
+            base_s = base["seconds_per_packet"]
+            top_s = top["seconds_per_packet"]
+            if top_s > multiple * base_s:
+                failures.append(
+                    f"{scheme}: {top_s:.3e} s/pkt at N={big} exceeds "
+                    f"{multiple}x the N={small} value ({base_s:.3e})"
+                )
     return failures
 
 
@@ -389,6 +435,102 @@ def check_batch(
     return failures
 
 
+def _fleet_cell(
+    aggregates: int, shards: int, *, isolate: bool = False
+) -> dict:
+    """One full fleet run summarized as the JSON cell the section stores."""
+    spec = FleetSpec(aggregates=aggregates, seed=FLEET_SEED)
+    result = run_fleet(spec, shards=shards, isolate=isolate)
+    return fleet_cell_json(result)
+
+
+def fleet_section(headline: dict | None = None) -> dict:
+    """The sharded-fleet section: invariance + shard-scaling cells.
+
+    ``headline`` carries the big committed run (e.g. 10^5 aggregates over
+    100 shards) forward from the previous ``BENCH_fleet.json``; it is too
+    expensive to re-run on every check and is regenerated explicitly with
+    ``--fleet-headline``.
+    """
+    baseline = _fleet_cell(**FLEET_BASELINE)
+    invariance = _fleet_cell(**FLEET_INVARIANCE)
+    scaled = _fleet_cell(**FLEET_SCALED)
+    section = {
+        "unit": "summed-CPU us/packet over merged arrived packets",
+        "workload": "full end-to-end fleet sims (repro.fleet), seed "
+        f"{FLEET_SEED}, bcpqp",
+        "cells": {
+            "baseline": baseline,
+            "invariance": invariance,
+            "scaled": scaled,
+        },
+        "digests_match": baseline["digest"] == invariance["digest"],
+        "shard_efficiency": round(
+            baseline["us_per_packet"] / scaled["us_per_packet"], 3
+        ),
+        "scaled_us_multiple": round(
+            scaled["us_per_packet"] / baseline["us_per_packet"], 3
+        ),
+    }
+    if headline is not None:
+        section["headline"] = headline
+        section["headline_us_multiple"] = round(
+            headline["us_per_packet"] / baseline["us_per_packet"], 3
+        )
+    return section
+
+
+def run_fleet_headline(aggregates: int) -> dict:
+    """The big committed fleet run: one shard per ~1000 aggregates, each
+    in a disposable supervised process (exact per-shard peak RSS)."""
+    shards = max(1, aggregates // 1000)
+    return _fleet_cell(aggregates, shards, isolate=True)
+
+
+def check_fleet(section: dict, *, min_efficiency: float) -> list[str]:
+    """Regression gates for the sharded fleet.
+
+    Deterministic gate (exact on any machine): the 4-shard N=1000 merge
+    must be byte-identical to the unsharded baseline (digest equality
+    over the full per-aggregate columns).  Wall gates (same-machine
+    clocks, both sides measured in this run): shard-scaling efficiency
+    >= ``min_efficiency``, and the committed headline us/packet within
+    ``FLEET_US_MAX_MULTIPLE`` x of the fresh baseline.
+    """
+    failures = []
+    cells = section["cells"]
+    if not section["digests_match"]:
+        failures.append(
+            "fleet: sharded digest "
+            f"{cells['invariance']['digest'][:16]} != unsharded baseline "
+            f"{cells['baseline']['digest'][:16]} — shard-count invariance "
+            "broken"
+        )
+    if section["shard_efficiency"] < min_efficiency:
+        failures.append(
+            f"fleet: shard-scaling efficiency {section['shard_efficiency']}"
+            f" below the {min_efficiency} floor (baseline "
+            f"{cells['baseline']['us_per_packet']:.2f} us/pkt, scaled "
+            f"{cells['scaled']['us_per_packet']:.2f} us/pkt)"
+        )
+    headline = section.get("headline")
+    if headline is None:
+        failures.append(
+            "fleet: no committed headline run (generate one with "
+            "--fleet-headline 100000)"
+        )
+    else:
+        multiple = section["headline_us_multiple"]
+        if multiple > FLEET_US_MAX_MULTIPLE:
+            failures.append(
+                f"fleet: headline ({headline['aggregates']} aggregates) "
+                f"us/packet {headline['us_per_packet']:.2f} is "
+                f"{multiple}x the N=1000 baseline, above the "
+                f"{FLEET_US_MAX_MULTIPLE}x bound"
+            )
+    return failures
+
+
 def simulator_events_per_second(rounds: int) -> dict[str, float]:
     """Median events/sec for the event-loop microbenchmark workloads."""
     workloads = {
@@ -475,6 +617,22 @@ def main(argv: list[str] | None = None) -> None:
         help="where to write the batched-packet-path-section JSON",
     )
     parser.add_argument(
+        "--fleet-output",
+        default=str(Path(__file__).parent / "BENCH_fleet.json"),
+        help="where to write the sharded-fleet-section JSON",
+    )
+    parser.add_argument(
+        "--fleet-headline", type=int, default=None, metavar="N",
+        help="re-run the committed fleet headline with N aggregates "
+        "(one shard per ~1000, supervised; expensive — default: carry "
+        "the committed headline forward)",
+    )
+    parser.add_argument(
+        "--check-min-efficiency", type=float, default=FLEET_MIN_EFFICIENCY,
+        help="required fleet shard-scaling efficiency (baseline us/pkt "
+        f"over 4x-fleet sharded us/pkt; default {FLEET_MIN_EFFICIENCY})",
+    )
+    parser.add_argument(
         "--check", action="store_true",
         help="run only the scaling sweep, event-engine and batch "
         "sections; fail if seconds/packet at N=1000 exceeds "
@@ -497,6 +655,8 @@ def main(argv: list[str] | None = None) -> None:
         parser.error("--check-multiple must be positive")
     if args.check_min_speedup <= 0:
         parser.error("--check-min-speedup must be positive")
+    if args.check_min_efficiency <= 0:
+        parser.error("--check-min-efficiency must be positive")
 
     if args.check:
         scaling = scaling_section(args.rounds)
@@ -511,14 +671,21 @@ def main(argv: list[str] | None = None) -> None:
         _write_batch(args.batch_output, batch)
         _print_batch(batch)
         failures += check_batch(batch, min_speedup=args.check_min_speedup)
+        fleet = fleet_section(headline=_fleet_headline(args))
+        _write_fleet(args.fleet_output, fleet)
+        _print_fleet(fleet)
+        failures += check_fleet(
+            fleet, min_efficiency=args.check_min_efficiency
+        )
         if failures:
             for failure in failures:
                 print(f"FAIL {failure}")
             raise SystemExit(1)
         print(
-            f"scaling + eventloop + batch checks passed "
+            f"scaling + eventloop + batch + fleet checks passed "
             f"(multiple={args.check_multiple}, "
-            f"min-speedup={args.check_min_speedup})"
+            f"min-speedup={args.check_min_speedup}, "
+            f"min-efficiency={args.check_min_efficiency})"
         )
         return
 
@@ -550,6 +717,67 @@ def main(argv: list[str] | None = None) -> None:
     batch = batch_section(args.rounds)
     _write_batch(args.batch_output, batch)
     _print_batch(batch)
+    fleet = fleet_section(headline=_fleet_headline(args))
+    _write_fleet(args.fleet_output, fleet)
+    _print_fleet(fleet)
+
+
+def _fleet_headline(args: argparse.Namespace) -> dict | None:
+    """The headline cell: freshly run with ``--fleet-headline N``, else
+    carried forward from the committed ``BENCH_fleet.json``."""
+    if args.fleet_headline is not None:
+        if args.fleet_headline < 1000:
+            raise SystemExit("--fleet-headline needs at least 1000 aggregates")
+        print(
+            f"running fleet headline: {args.fleet_headline} aggregates "
+            f"over {max(1, args.fleet_headline // 1000)} shards ..."
+        )
+        return run_fleet_headline(args.fleet_headline)
+    path = Path(args.fleet_output)
+    if not path.exists():
+        return None
+    try:
+        previous = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    return previous.get("fleet", {}).get("headline")
+
+
+def _write_fleet(path: str, section: dict) -> None:
+    document = {
+        "schema": "repro-bench-fleet/1",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "fleet": section,
+    }
+    Path(path).write_text(json.dumps(document, indent=2) + "\n")
+    print(f"wrote {path}")
+
+
+def _print_fleet(section: dict) -> None:
+    cells = dict(section["cells"])
+    headline = section.get("headline")
+    if headline is not None:
+        cells["headline"] = headline
+    for name, cell in cells.items():
+        print(
+            f"  fleet      {name:10s} N={cell['aggregates']:>6d} "
+            f"K={cell['shards']:>3d} "
+            f"{cell['us_per_packet']:8.2f} us/pkt  "
+            f"rss {cell['peak_rss_bytes'] / 1e6:6.1f} MB  "
+            f"digest {cell['digest'][:12]}"
+        )
+    print(
+        f"  fleet      digests-match={section['digests_match']} "
+        f"efficiency={section['shard_efficiency']:.3f} "
+        f"scaled-multiple={section['scaled_us_multiple']:.3f}"
+        + (
+            f" headline-multiple={section['headline_us_multiple']:.3f}"
+            if headline is not None
+            else ""
+        )
+    )
 
 
 def _write_batch(path: str, section: dict) -> None:

@@ -27,6 +27,7 @@ from repro.experiments import (
     fig6_policy,
     fig7_applications,
     fig9_video_timeseries,
+    fleet_scale,
 )
 from repro.runner import ResultCache, default_jobs
 
@@ -44,7 +45,14 @@ _MODULES = (
     ("Extension: hashed classification", "ext_hash", ext_hash_classification),
 )
 
-_NAMES = tuple(name for _, name, _ in _MODULES)
+# On-demand entries: selectable by name but excluded from the default
+# all-figures run (the fleet demo simulates thousands of aggregates).
+_ON_DEMAND = (
+    ("Fleet scale", "fleet", fleet_scale),
+)
+
+_NAMES = tuple(name for _, name, _ in _MODULES + _ON_DEMAND)
+_DEFAULT_NAMES = tuple(name for _, name, _ in _MODULES)
 
 
 def _parse_args(argv: list[str] | None) -> argparse.Namespace:
@@ -176,7 +184,7 @@ def main(argv: list[str] | None = None) -> None:
         cache = ResultCache(args.cache) if args.cache else None
     except OSError as exc:
         raise SystemExit(f"error: cannot use cache dir {args.cache!r}: {exc}")
-    selected = set(args.figures) or set(_NAMES)
+    selected = set(args.figures) or set(_DEFAULT_NAMES)
     grand_start = time.time()
     profiler = None
     if args.profile == "cprofile":
@@ -185,7 +193,7 @@ def main(argv: list[str] | None = None) -> None:
         profiler = cProfile.Profile()
         profiler.enable()
     try:
-        for label, name, module in _MODULES:
+        for label, name, module in _MODULES + _ON_DEMAND:
             if name not in selected:
                 continue
             print("=" * 72)

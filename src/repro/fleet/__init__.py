@@ -1,0 +1,40 @@
+"""Sharded fleet execution: 10^5+ rate-limited aggregates per run.
+
+The paper's deployment hosts ~100k subscriber aggregates on one machine
+(§6.1).  This package scales the reproduction to that population by
+partitioning a :class:`FleetSpec` into contiguous shards
+(:func:`shard_bounds`), simulating each shard in its own worker process
+(:func:`simulate_shard` fanned out by :func:`run_fleet`), and merging
+streamed columnar summaries (:mod:`repro.metrics.merge`) without ever
+materializing per-packet traces in the parent.
+
+Per-aggregate workloads derive purely from ``(seed, aggregate_id)``
+(:func:`plan_for`), which makes merged fleet metrics byte-identical for
+every shard count — the invariance the tests and the differential
+fuzzer's shard tier pin.
+"""
+
+from repro.fleet.recorder import FleetRecorder
+from repro.fleet.run import FleetResult, run_fleet
+from repro.fleet.shard import simulate_shard
+from repro.fleet.spec import (
+    AggregatePlan,
+    FleetSpec,
+    ShardConfig,
+    plan_for,
+    shard_bounds,
+    shard_configs,
+)
+
+__all__ = [
+    "AggregatePlan",
+    "FleetRecorder",
+    "FleetResult",
+    "FleetSpec",
+    "ShardConfig",
+    "plan_for",
+    "run_fleet",
+    "shard_bounds",
+    "shard_configs",
+    "simulate_shard",
+]

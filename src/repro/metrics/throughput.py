@@ -60,6 +60,18 @@ def _validate(window: float, start: float, end: float) -> tuple[int, float]:
     return whole + 1, (end - start) - whole * window
 
 
+def bin_layout(window: float, start: float, end: float) -> tuple[int, float]:
+    """Public bin layout for ``[start, end)``: ``(nbins, last_width)``.
+
+    The exact layout every throughput series in this module uses —
+    including the ULP-rounded whole-window detection and the trailing
+    partial window (see :func:`_validate`).  Exposed so streaming
+    accumulators (e.g. the fleet's columnar recorder) can bin bytes
+    on the fly with semantics byte-identical to post-hoc trace binning.
+    """
+    return _validate(window, start, end)
+
+
 def _series(
     acc: list[float], window: float, start: float, last_width: float
 ) -> TimeSeries:

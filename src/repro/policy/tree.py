@@ -90,6 +90,37 @@ class Policy:
             )
         self._num_queues = len(queues)
         self._share_cache: dict[tuple[int, float], tuple[float, ...]] = {}
+        self._compile_flat()
+
+    def _compile_flat(self) -> None:
+        """Detect a single-level tree and precompute its fast-path state.
+
+        A flat tree (every root child a leaf — the ``fair``/``weighted``/
+        ``prioritized`` factories, i.e. almost every policy an aggregate
+        actually carries) needs no recursive assignment: a queue's GPS
+        rate is ``rate * w_q / W`` where ``W`` sums the weights of the
+        top-priority active leaves.  :meth:`fluid_rate_of` then costs
+        O(active) once per new active set (O(1) for the unit-weight
+        single-priority case) with a *scalar* memo instead of an
+        N-vector walk and N-tuple allocation per set — the difference
+        between flat and cliff-shaped per-packet cost at N=10^4 queues
+        (see ``BENCH_scaling.json``).
+        """
+        root = self._root
+        self._flat_leaves: tuple[Leaf, ...] | None = None
+        self._flat_uniform = False
+        self._flat_cache: dict[int, tuple[int, float]] = {}
+        if isinstance(root.node, Leaf) or not all(
+            isinstance(c.node, Leaf) for c in root.children
+        ):
+            return
+        leaves = tuple(c.node for c in root.children)
+        self._flat_leaves = leaves
+        self._flat_weight = {leaf.queue: leaf.weight for leaf in leaves}
+        self._flat_uniform = all(
+            leaf.weight == 1.0 and leaf.priority == leaves[0].priority
+            for leaf in leaves
+        )
 
     @classmethod
     def _compile(cls, node: Node) -> _CompiledNode:
@@ -108,15 +139,17 @@ class Policy:
         )
 
     def __getstate__(self) -> dict:
-        # The memo cache is derived state; keep pickles (sweep-runner
+        # The memo caches are derived state; keep pickles (sweep-runner
         # configs cross process boundaries) small and deterministic.
         state = dict(self.__dict__)
         state["_share_cache"] = {}
+        state["_flat_cache"] = {}
         return state
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
         self._share_cache = {}
+        self._flat_cache = {}
 
     @property
     def root(self) -> Node:
@@ -178,7 +211,43 @@ class Policy:
         """
         if not 0 <= queue < self._num_queues:
             raise ValueError(f"queue {queue} out of range 0..{self._num_queues - 1}")
+        if self._flat_leaves is not None:
+            mask = self._active_mask(active)
+            if rate <= 0 or not mask & (1 << queue):
+                return 0.0
+            if self._flat_uniform:
+                # rate * 1.0 / sum-of-ones == rate / popcount, bit for bit.
+                return rate / mask.bit_count()
+            winner_mask, total_weight = self._flat_winners(mask)
+            if not winner_mask & (1 << queue):
+                return 0.0
+            return rate * self._flat_weight[queue] / total_weight
         return self._rates_for(self._active_mask(active), rate)[queue]
+
+    def _flat_winners(self, mask: int) -> tuple[int, float]:
+        """Memoized ``(winner mask, total weight)`` for a flat tree.
+
+        The weight sum iterates leaves in child order — the same order
+        :meth:`_assign` sums winners in — so the fast path's shares are
+        byte-identical to the recursive walk's.
+        """
+        cached = self._flat_cache.get(mask)
+        if cached is not None:
+            return cached
+        leaves = self._flat_leaves
+        assert leaves is not None
+        live = [leaf for leaf in leaves if mask & (1 << leaf.queue)]
+        top = min(leaf.priority for leaf in live)
+        winners = [leaf for leaf in live if leaf.priority == top]
+        total_weight = sum(leaf.weight for leaf in winners)
+        winner_mask = 0
+        for leaf in winners:
+            winner_mask |= 1 << leaf.queue
+        if len(self._flat_cache) >= self._SHARE_CACHE_MAX:
+            self._flat_cache.clear()
+        result = (winner_mask, total_weight)
+        self._flat_cache[mask] = result
+        return result
 
     def _rates_for(self, mask: int, rate: float) -> tuple[float, ...]:
         """Memoized rate vector for an active-set bitmask."""

@@ -119,6 +119,24 @@ def scheme_fingerprint(scheme: str, validate: bool = False) -> str:
     return _hash_sources(_SHARED_SOURCES + extra)
 
 
+def fleet_fingerprint(scheme: str, validate: bool = False) -> str:
+    """Code fingerprint for one fleet *shard*'s simulation outcome.
+
+    A shard result depends on everything a single-aggregate cell does for
+    its scheme, plus the fleet layer itself (plan derivation, columnar
+    recorder, shard wiring) and the middlebox that routes aggregates —
+    so an edit to ``fleet/`` invalidates cached shard summaries while
+    per-figure aggregate cells stay warm.
+    """
+    extra = _SCHEME_SOURCES.get(scheme)
+    if extra is None:
+        extra = ("limiters", "core")
+    extra = extra + ("fleet", "net/middlebox.py")
+    if validate:
+        extra = extra + ("validate",)
+    return _hash_sources(_SHARED_SOURCES + extra)
+
+
 def package_fingerprint() -> str:
     """Fingerprint over the whole ``repro`` package (safe default)."""
     return _hash_sources((".",))

@@ -39,7 +39,13 @@ JOBS_ENV = "REPRO_JOBS"
 
 
 def default_jobs() -> int:
-    """Worker count when the caller asks for "parallel, you pick"."""
+    """Worker count when the caller asks for "parallel, you pick".
+
+    Caps at the CPUs this process may actually run on (the scheduler
+    affinity mask) rather than the machine's full core count: in a
+    cgroup/container or under ``taskset`` the two differ, and sizing the
+    pool to ``cpu_count()`` oversubscribes the few permitted cores.
+    """
     env = os.environ.get(JOBS_ENV)
     if env:
         try:
@@ -47,11 +53,15 @@ def default_jobs() -> int:
         except ValueError:
             warnings.warn(
                 f"ignoring invalid {JOBS_ENV}={env!r} (not an integer); "
-                "falling back to cpu_count()",
+                "falling back to the CPU count",
                 RuntimeWarning,
                 stacklevel=2,
             )
-    return os.cpu_count() or 1
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
+        # Platforms without sched_getaffinity (macOS, Windows).
+        return os.cpu_count() or 1
 
 
 def _pool_context(

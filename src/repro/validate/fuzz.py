@@ -19,6 +19,12 @@ Two comparison tiers:
   the fluid idealization; only aggregate outcomes (goodput, forwarded
   bytes) must land in a band around the fluid result.
 
+A third differential tier covers fleet sharding: each case draws a
+shard count, runs a small generatively-seeded fleet (:mod:`repro.fleet`)
+both unsharded and partitioned into that many shards, and requires the
+merged metrics to be byte-identical (``shards=1`` skips the tier).  The
+shard count rides along in the ``--case`` JSON like every other field.
+
 Any invariant violation or cross-engine divergence is reported with a
 minimized single-line repro::
 
@@ -94,6 +100,12 @@ class FuzzCase:
     #: default.  Every case is additionally re-run at the *opposite*
     #: granularity and diffed bit-for-bit (:func:`_diff_batch`).
     batch: int | None = None
+    #: Fleet shard count for the shard-invariance tier: a small
+    #: generatively-seeded fleet is run unsharded and partitioned into
+    #: ``shards`` shards, and the merged metrics must be byte-identical
+    #: (:mod:`repro.fleet`).  ``1`` skips the tier; corpus JSON predating
+    #: the field deserializes to 1.
+    shards: int = 1
 
     def __post_init__(self) -> None:
         # JSON round-trips tuples as lists; normalize back.
@@ -184,6 +196,11 @@ def generate_case(seed: int, index: int) -> FuzzCase:
     # (1 = per-packet, None = unbounded) plus tiny and mid-size caps
     # that force batch boundaries at awkward places.
     batch = rng.choice((1, 2, rng.randint(2, 32), None))
+    # Shard-count draw (after batch, same reason: earlier draws keep
+    # matching the pre-fleet corpus).  Small counts: the tier's job is
+    # partition boundaries, not population size — uneven splits (3, 5)
+    # exercise the remainder-distribution path of ``shard_bounds``.
+    shards = rng.choice((1, 2, 3, 5))
     return FuzzCase(
         index=index,
         seed=rng.randint(1, 2**31),
@@ -198,6 +215,7 @@ def generate_case(seed: int, index: int) -> FuzzCase:
         priorities=priorities,
         baseline=BASELINES[index % len(BASELINES)],
         batch=batch,
+        shards=shards,
     )
 
 
@@ -308,6 +326,41 @@ def _diff_batch(
             )
 
 
+def _diff_fleet(case: FuzzCase, divergences: list[str]) -> int:
+    """Fleet shard-invariance tier; returns simulations run.
+
+    A small generatively-seeded fleet (its per-aggregate workloads derive
+    from ``case.seed``, not the case's flow list) is run unsharded and
+    partitioned into ``case.shards`` shards.  Merged
+    :class:`~repro.metrics.merge.FleetMetrics` must be byte-identical —
+    the digest covers every per-aggregate column, so any divergence in
+    partitioning, per-shard seeding or the merge's reduction order is a
+    finding.  ``shards=1`` skips the tier (nothing to diff).
+    """
+    if case.shards <= 1:
+        return 0
+    from repro.fleet import FleetSpec, run_fleet
+
+    scheme = PHANTOM_SCHEMES[case.index % len(PHANTOM_SCHEMES)]
+    spec = FleetSpec(
+        aggregates=case.shards + 2,
+        seed=case.seed,
+        scheme=scheme,
+        horizon=case.horizon,
+        warmup=case.warmup,
+        batch=case.batch,
+    )
+    single = run_fleet(spec, shards=1)
+    sharded = run_fleet(spec, shards=case.shards)
+    if single.metrics != sharded.metrics:
+        divergences.append(
+            f"fleet/{scheme}: shards={case.shards} merge diverges from "
+            f"single-process: digest {sharded.metrics.digest[:16]} != "
+            f"{single.metrics.digest[:16]}"
+        )
+    return 1 + case.shards
+
+
 def run_case(case: FuzzCase) -> CaseReport:
     """Run one case under every engine combination and diff the results."""
     violations: list[str] = []
@@ -337,6 +390,7 @@ def run_case(case: FuzzCase) -> CaseReport:
     simulations += 1
     for message in baseline_outcome["violations"]:
         violations.append(f"{case.baseline}: {message}")
+    simulations += _diff_fleet(case, divergences)
     return CaseReport(
         case=case,
         simulations=simulations,

@@ -1,0 +1,330 @@
+"""Sharded fleet execution: partitioning, seeding, recorder, merge.
+
+The load-bearing pin is shard-count invariance: the same
+:class:`~repro.fleet.FleetSpec` partitioned into 1, 2 or 7 shards must
+merge to byte-identical :class:`~repro.metrics.merge.FleetMetrics` —
+down to the sha256 digest over the full per-aggregate columns — for
+every enforcement scheme.  Everything the fleet layer is built on
+(contiguous balanced partitioning, per-aggregate seeding, the columnar
+recorder's binning semantics, the merge's canonical reduction order) is
+pinned here too.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from array import array
+
+import pytest
+
+from repro.cc.endpoint import FlowDemux
+from repro.fleet import (
+    FleetRecorder,
+    FleetSpec,
+    ShardConfig,
+    plan_for,
+    run_fleet,
+    shard_bounds,
+    shard_configs,
+    simulate_shard,
+)
+from repro.fleet.shard import _interned_policy
+from repro.metrics.merge import merge_shard_summaries
+from repro.metrics.throughput import bin_layout, binned_bytes
+from repro.net.middlebox import Middlebox
+from repro.net.packet import FlowId
+from repro.net.trace import Trace
+from repro.schemes import make_limiter
+from repro.sim.simulator import Simulator
+from repro.wiring import wire_flow
+
+pytestmark = pytest.mark.fleet
+
+SCHEMES = ("policer", "fairpolicer", "pqp", "bcpqp", "shaper")
+
+
+class TestShardBounds:
+    def test_contiguous_balanced_tiling(self):
+        for aggregates in (1, 2, 7, 10, 23):
+            for shards in range(1, aggregates + 1):
+                bounds = [
+                    shard_bounds(aggregates, shards, i) for i in range(shards)
+                ]
+                # tiles [0, aggregates) contiguously
+                assert bounds[0][0] == 0
+                assert bounds[-1][1] == aggregates
+                for (_, hi), (lo, _) in zip(bounds, bounds[1:]):
+                    assert hi == lo
+                # balanced within one
+                sizes = [hi - lo for lo, hi in bounds]
+                assert max(sizes) - min(sizes) <= 1
+
+    def test_rejects_more_shards_than_aggregates(self):
+        with pytest.raises(ValueError, match="cannot split"):
+            shard_bounds(3, 4, 0)
+
+    def test_rejects_bad_index(self):
+        with pytest.raises(ValueError, match="outside"):
+            shard_bounds(10, 2, 2)
+
+
+class TestPlanDeterminism:
+    def test_plan_depends_only_on_seed_and_id(self):
+        # The same aggregate id yields the same plan regardless of
+        # population size or partitioning — the root of shard invariance.
+        small = FleetSpec(aggregates=5, seed=9)
+        large = FleetSpec(aggregates=500, seed=9)
+        for aggregate in range(5):
+            assert plan_for(small, aggregate) == plan_for(large, aggregate)
+
+    def test_different_seeds_differ(self):
+        a = [plan_for(FleetSpec(aggregates=8, seed=1), i) for i in range(8)]
+        b = [plan_for(FleetSpec(aggregates=8, seed=2), i) for i in range(8)]
+        assert a != b
+
+    def test_policy_interning_shares_equal_shapes(self):
+        spec = FleetSpec(aggregates=40, seed=3)
+        cache: dict = {}
+        plans = [plan_for(spec, i) for i in range(40)]
+        policies = [_interned_policy(p, cache) for p in plans]
+        # far fewer distinct policies than aggregates
+        assert len(cache) < len(plans)
+        for plan, policy in zip(plans, policies):
+            assert policy is cache[plan.policy_key()]
+            assert policy.num_queues == plan.num_flows
+
+
+class TestFleetSpecValidation:
+    def test_rejects_zero_aggregates(self):
+        with pytest.raises(ValueError):
+            FleetSpec(aggregates=0)
+
+    def test_rejects_warmup_after_horizon(self):
+        with pytest.raises(ValueError):
+            FleetSpec(aggregates=1, warmup=2.0, horizon=1.0)
+
+    def test_rejects_span_shorter_than_window(self):
+        with pytest.raises(ValueError):
+            FleetSpec(aggregates=1, warmup=0.2, horizon=0.3, window=0.25)
+
+    def test_shard_config_validates_eagerly(self):
+        with pytest.raises(ValueError):
+            ShardConfig(spec=FleetSpec(aggregates=2), shards=3, index=2)
+
+
+def _shard_trace(spec: FleetSpec):
+    """Run one unsharded shard with a Trace in place of the recorder."""
+    sim = Simulator()
+    box = Middlebox(sim)
+    demux = FlowDemux()
+    plans = [plan_for(spec, a) for a in range(spec.aggregates)]
+    trace = Trace(sim, demux)
+    policies: dict = {}
+    for plan in plans:
+        limiter = make_limiter(
+            sim,
+            spec.scheme,
+            rate=plan.rate,
+            num_queues=plan.num_flows,
+            max_rtt=plan.max_rtt,
+            policy=_interned_policy(plan, policies),
+            phantom_service=spec.phantom_service,
+        )
+        limiter.connect(trace)
+        box.add_aggregate(plan.aggregate, limiter)
+        for fs in plan.specs:
+            wire_flow(
+                sim,
+                FlowId(plan.aggregate, fs.slot, 0),
+                cc=fs.cc,
+                rtt=fs.rtt,
+                ingress=box,
+                demux=demux,
+                packets=None,
+                start=fs.start,
+            )
+    sim.run(until=spec.horizon)
+    return trace, plans
+
+
+class TestRecorderByteIdentity:
+    def test_binning_matches_posthoc_trace_binning(self):
+        # The recorder streams bytes into bins during the run; binning a
+        # full trace afterwards with the classic metrics path must give
+        # the exact same floats, aggregate by aggregate.
+        spec = FleetSpec(aggregates=6, seed=21, horizon=0.93, warmup=0.2)
+        summary = simulate_shard(ShardConfig(spec=spec, shards=1, index=0))
+        trace, plans = _shard_trace(spec)
+        nbins, _last = bin_layout(spec.window, spec.warmup, spec.horizon)
+        assert summary.nbins == nbins
+        for row, plan in enumerate(plans):
+            rows = [
+                (t, s)
+                for t, f, s in zip(trace.times, trace.flow_ids, trace.sizes)
+                if f.aggregate == plan.aggregate
+            ]
+            sub = Trace(Simulator())
+            for t, s in rows:
+                sub.times.append(t)
+                sub.flow_ids.append(FlowId(plan.aggregate, 0, 0))
+                sub.sizes.append(s)
+            classic = binned_bytes(
+                sub, window=spec.window, start=spec.warmup, end=spec.horizon
+            )
+            streamed = list(
+                summary.binned_bytes[row * nbins:(row + 1) * nbins]
+            )
+            assert streamed == classic
+            assert summary.goodput_bytes[row] == sum(classic)
+
+    def test_slot_goodput_matches_window_filtered_trace(self):
+        spec = FleetSpec(aggregates=5, seed=12, horizon=0.9, warmup=0.2)
+        summary = simulate_shard(ShardConfig(spec=spec, shards=1, index=0))
+        trace, plans = _shard_trace(spec)
+        for row, plan in enumerate(plans):
+            for fs in plan.specs:
+                want = sum(
+                    s
+                    for t, f, s in zip(
+                        trace.times, trace.flow_ids, trace.sizes
+                    )
+                    if f.aggregate == plan.aggregate
+                    and f.slot == fs.slot
+                    and spec.warmup <= t < spec.horizon
+                )
+                got = summary.slot_goodput[
+                    summary.slot_offsets[row] + fs.slot
+                ]
+                assert got == want
+
+    def test_recorder_counts_only_data_packets_in_window(self):
+        sim = Simulator()
+        recorder = FleetRecorder(
+            sim,
+            FlowDemux(),
+            lo=0,
+            slot_counts=[1],
+            window=0.25,
+            warmup=0.2,
+            horizon=0.7,
+        )
+        from repro.net.packet import Packet
+
+        flow = FlowId(0, 0, 0)
+        sim._now = 0.1  # before warmup
+        recorder.receive(Packet.data(flow, 0, sim.now))
+        sim._now = 0.3  # in window
+        recorder.receive(Packet.data(flow, 1, sim.now))
+        assert recorder.recorded_packets == 1
+        assert recorder.goodput_bytes[0] > 0
+
+
+class TestShardInvariance:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_merged_metrics_byte_identical_across_shard_counts(self, scheme):
+        # The tentpole pin: shards in {1, 2, 7} produce equal
+        # FleetMetrics — full dataclass equality, digest included.
+        spec = FleetSpec(
+            aggregates=7, seed=31, scheme=scheme, horizon=0.8, warmup=0.2
+        )
+        base = run_fleet(spec, shards=1).metrics
+        assert base.arrived_packets > 0
+        for shards in (2, 7):
+            merged = run_fleet(spec, shards=shards).metrics
+            assert merged == base
+            assert merged.digest == base.digest
+
+    def test_parallel_workers_byte_identical_to_serial(self):
+        spec = FleetSpec(aggregates=6, seed=4, horizon=0.8, warmup=0.2)
+        serial = run_fleet(spec, shards=3).metrics
+        parallel = run_fleet(spec, shards=3, jobs=2).metrics
+        assert parallel == serial
+
+    def test_validation_does_not_change_outcomes(self):
+        plain = FleetSpec(aggregates=4, seed=8, horizon=0.7, warmup=0.2)
+        checked = dataclasses.replace(plain, validate=True)
+        a = run_fleet(plain, shards=2).metrics
+        b = run_fleet(checked, shards=2).metrics
+        assert a == b
+
+
+class TestMerge:
+    def _summaries(self, shards: int):
+        spec = FleetSpec(aggregates=8, seed=17, horizon=0.8, warmup=0.2)
+        return [simulate_shard(c) for c in shard_configs(spec, shards)]
+
+    def test_merge_accepts_any_summary_order(self):
+        summaries = self._summaries(3)
+        a = merge_shard_summaries(summaries)
+        b = merge_shard_summaries(list(reversed(summaries)))
+        assert a == b
+
+    def test_merge_rejects_gapped_partition(self):
+        summaries = self._summaries(3)
+        with pytest.raises(ValueError, match="tile"):
+            merge_shard_summaries([summaries[0], summaries[2]])
+
+    def test_merge_rejects_parameter_mismatch(self):
+        summaries = self._summaries(2)
+        bad = dataclasses.replace(summaries[1], window=0.5)
+        with pytest.raises(ValueError, match="disagree"):
+            merge_shard_summaries([summaries[0], bad])
+
+    def test_merge_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            merge_shard_summaries([])
+
+    def test_digest_covers_per_aggregate_columns(self):
+        # Two runs whose fleet-level totals agree but whose per-aggregate
+        # columns differ must produce different digests.
+        summaries = self._summaries(2)
+        base = merge_shard_summaries(summaries)
+        perturbed = dataclasses.replace(
+            summaries[0],
+            goodput_bytes=array(
+                "d",
+                [
+                    v + (1.0 if i == 0 else -1.0)
+                    for i, v in enumerate(summaries[0].goodput_bytes[:2])
+                ]
+                + list(summaries[0].goodput_bytes[2:]),
+            ),
+        )
+        other = merge_shard_summaries([perturbed, summaries[1]])
+        assert other.digest != base.digest
+
+    def test_op_counts_and_cycles_sum_across_shards(self):
+        summaries = self._summaries(4)
+        merged = merge_shard_summaries(summaries)
+        assert merged.modeled_cycles == pytest.approx(
+            sum(sum(s.modeled_cycles) for s in summaries)
+        )
+        total_ops = sum(merged.op_counts.values())
+        assert total_ops > 0
+
+
+class TestFleetSmoke:
+    def test_isolated_shards_report_rss_and_match(self):
+        spec = FleetSpec(aggregates=4, seed=2, horizon=0.7, warmup=0.2)
+        plain = run_fleet(spec, shards=2)
+        isolated = run_fleet(spec, shards=2, isolate=True)
+        assert isolated.metrics == plain.metrics
+        assert all(s.peak_rss_bytes > 0 for s in isolated.summaries)
+
+    def test_result_accounting(self):
+        spec = FleetSpec(aggregates=4, seed=2, horizon=0.7, warmup=0.2)
+        result = run_fleet(spec, shards=2)
+        assert result.us_per_packet > 0
+        assert result.run_seconds > 0
+        assert result.total_flows == sum(s.flows for s in result.summaries)
+        assert result.metrics.cycles_per_packet > 0
+
+    def test_experiments_cli_entry(self, capsys):
+        from repro.experiments import fleet_scale
+
+        result = fleet_scale.main(
+            fleet_scale.Config(aggregates=6, shards=2, horizon=0.7)
+        )
+        out = capsys.readouterr().out
+        assert "Fleet: 6 aggregates" in out
+        assert result.metrics.digest[:12] in out

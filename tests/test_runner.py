@@ -125,7 +125,29 @@ class TestDefaultJobs:
         monkeypatch.setenv(JOBS_ENV, "banana")
         with pytest.warns(RuntimeWarning, match="banana"):
             jobs = default_jobs()
-        assert jobs >= 1  # fell back to cpu_count()
+        assert jobs >= 1  # fell back to the CPU count
+
+    def test_caps_at_scheduler_affinity_not_cpu_count(self, monkeypatch):
+        # In a cgroup/container the affinity mask is the real budget;
+        # cpu_count() can be much larger and would oversubscribe.
+        import os
+
+        from repro.runner.pool import JOBS_ENV, default_jobs
+
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 1, 2})
+        monkeypatch.setattr(os, "cpu_count", lambda: 64)
+        assert default_jobs() == 3
+
+    def test_falls_back_to_cpu_count_without_affinity(self, monkeypatch):
+        import os
+
+        from repro.runner.pool import JOBS_ENV, default_jobs
+
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 7)
+        assert default_jobs() == 7
 
 
 class TestDeterminism:

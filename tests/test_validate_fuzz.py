@@ -22,15 +22,24 @@ pytestmark = pytest.mark.validate
 
 #: Small fixed budget: a few cases through all 9 engine combinations
 #: (3 services x 2 phantom schemes + 2 opposite-batch re-runs + 1
-#: baseline scheme).
+#: baseline scheme), plus the sharded-fleet diff tier on cases that
+#: draw ``shards > 1``.
 SMOKE_CASES = 6
 SMOKE_SEED = 1
+
+
+def _fleet_sims(case: FuzzCase) -> int:
+    """Extra simulations the sharded-fleet diff tier adds to a case."""
+    return 0 if case.shards <= 1 else 1 + case.shards
 
 
 class TestFuzzSmoke:
     def test_corpus_slice_is_clean(self):
         failures, simulations = fuzz(SMOKE_CASES, SMOKE_SEED)
-        assert simulations == SMOKE_CASES * 9
+        assert simulations == sum(
+            9 + _fleet_sims(generate_case(SMOKE_SEED, i))
+            for i in range(SMOKE_CASES)
+        )
         for failing in failures:
             for message in failing.violations + failing.divergences:
                 print(message)
@@ -45,6 +54,31 @@ class TestFuzzSmoke:
     def test_case_json_round_trip(self):
         case = generate_case(SMOKE_SEED, 4)
         assert FuzzCase.from_json(case.to_json()) == case
+
+    def test_round_trip_preserves_shards(self):
+        case = next(
+            generate_case(SMOKE_SEED, i)
+            for i in range(32)
+            if generate_case(SMOKE_SEED, i).shards > 1
+        )
+        assert FuzzCase.from_json(case.to_json()).shards == case.shards
+
+    def test_legacy_case_json_defaults_to_unsharded(self):
+        # Corpus lines recorded before the fleet tier carry no "shards"
+        # key; they must keep meaning the single-process engine.
+        case = generate_case(SMOKE_SEED, 4)
+        payload = case.to_json()
+        import json
+
+        stripped = json.dumps(
+            {k: v for k, v in json.loads(payload).items() if k != "shards"}
+        )
+        assert FuzzCase.from_json(stripped).shards == 1
+
+    def test_shard_counts_are_drawn(self):
+        drawn = {generate_case(SMOKE_SEED, i).shards for i in range(32)}
+        assert 1 in drawn  # keeps cheap unsharded cases in the corpus
+        assert any(s > 1 for s in drawn)
 
     def test_batch_limits_are_drawn(self):
         # The corpus must exercise both engine endpoints (1 = per-packet,
@@ -70,8 +104,9 @@ class TestFuzzSmoke:
         assert shorter.horizon == pytest.approx(case.horizon / 2)
 
     def test_single_case_report_shape(self):
-        report = run_case(generate_case(SMOKE_SEED, 0))
-        assert report.simulations == 9
+        case = generate_case(SMOKE_SEED, 0)
+        report = run_case(case)
+        assert report.simulations == 9 + _fleet_sims(case)
         assert report.violations == []
         assert report.divergences == []
         assert not report.failed
