@@ -28,7 +28,17 @@ with the per-engine minimum reported (robust to background load), plus
 the speedup against the committed pre-batching ``BENCH_eventloop.json``
 reference clocks (``REFERENCE_UNBATCHED``).
 
-A fifth file, ``BENCH_fleet.json``, records the sharded-fleet section
+A fifth file, ``BENCH_impair.json``, records the impairment-machinery
+section (:mod:`repro.net.impair`): one bcpqp aggregate run three ways —
+clean (``impair=None``), with an all-disabled ``ImpairmentSpec()`` (which
+must produce a byte-identical outcome: the disabled machinery constructs
+nothing and draws no randomness), and with loss+jitter actually enabled
+(informational cost of the gates).  Clean and disabled cells are timed
+interleaved with per-side minimums; ``--check`` gates the
+disabled/clean wall ratio at ``IMPAIR_MAX_OVERHEAD`` (1.05) and fails
+hard if the outcomes differ at all.
+
+A sixth file, ``BENCH_fleet.json``, records the sharded-fleet section
 (:mod:`repro.fleet`): full end-to-end fleet runs (TCP endpoints, a
 middlebox hosting one limiter per aggregate, merged columnar metrics)
 at N=1000 unsharded (the baseline), N=1000 over 4 shards (whose merged
@@ -50,7 +60,9 @@ peak heap must not creep back up, and bcpqp wall us/packet must stay
 batch gates fail: bcpqp batched us/packet must stay >=
 --check-min-speedup (default 2.0) times faster than the committed
 pre-batching reference clock *and* under the ``BATCH_BCPQP_US_MAX``
-absolute ceiling (24 us/pkt) — or (d) the fleet gates fail: the sharded
+absolute ceiling (24 us/pkt) — or (d) the impairment gates fail: the
+disabled-spec outcome must equal the clean outcome byte-for-byte and
+cost at most 5% extra wall clock — or (e) the fleet gates fail: the sharded
 N=1000 digest must equal the unsharded baseline's, shard-scaling
 efficiency (baseline us/packet over sharded-4x-fleet us/packet, both in
 summed-CPU terms) must stay >= --check-min-efficiency (default 0.7),
@@ -82,9 +94,12 @@ import bench_sim_core  # noqa: E402
 from repro.experiments import fig5_efficiency  # noqa: E402
 from repro.experiments.fleet_scale import as_json as fleet_cell_json  # noqa: E402
 from repro.fleet import FleetSpec, run_fleet  # noqa: E402
+from repro.net.impair import ImpairmentSpec  # noqa: E402
 from repro.net.packet import FlowId, Packet  # noqa: E402
 from repro.net.sink import NullSink  # noqa: E402
+from repro.runner.aggregate import AggregateConfig, simulate_aggregate  # noqa: E402
 from repro.runner.supervisor import session_stats  # noqa: E402
+from repro.workload.spec import FlowSpec  # noqa: E402
 from repro.schemes import make_limiter  # noqa: E402
 from repro.sim.simulator import Simulator  # noqa: E402
 from repro.units import mbps, ms  # noqa: E402
@@ -152,6 +167,18 @@ REFERENCE_UNBATCHED = {
 #: "47 -> <= 24 us/pkt" target), enforced by ``--check`` alongside the
 #: relative gate.
 BATCH_BCPQP_US_MAX = 24.0
+
+#: Allowed wall-clock ratio of the disabled-``ImpairmentSpec()`` run
+#: over the clean ``impair=None`` run.  The disabled path constructs no
+#: gates and draws no randomness — its only cost is a couple of ``None``
+#: checks at wiring time — so anything past 5% is machinery leaking into
+#: the per-packet path.
+IMPAIR_MAX_OVERHEAD = 1.05
+
+#: The impairment section's enabled cell: moderate i.i.d. loss plus
+#: delay jitter — both per-packet gates on the data path, so the cell
+#: prices the *active* machinery, not just its absence.
+IMPAIR_ENABLED_SPEC = ImpairmentSpec(loss=0.01, jitter=0.002)
 
 #: Fleet-section cells (full end-to-end sims: TCP endpoints, middlebox,
 #: one limiter per aggregate, merged columnar metrics).  The baseline is
@@ -435,6 +462,95 @@ def check_batch(
     return failures
 
 
+def _impair_config(impair: ImpairmentSpec | None) -> AggregateConfig:
+    """The impair section's workload: one bcpqp aggregate, two flows."""
+    return AggregateConfig(
+        scheme="bcpqp",
+        specs=(
+            FlowSpec(slot=0, cc="reno", rtt=0.02),
+            FlowSpec(slot=1, cc="cubic", rtt=0.05),
+        ),
+        rate=mbps(8.0),
+        max_rtt=ms(100),
+        horizon=4.0,
+        warmup=1.0,
+        seed=7,
+        impair=impair,
+    )
+
+
+def impair_section(rounds: int) -> dict:
+    """Impairment-machinery cost: clean vs disabled vs enabled.
+
+    Clean (``impair=None``) and disabled (all-zero ``ImpairmentSpec()``)
+    runs are timed interleaved with per-side minimums (same estimator as
+    the batch section — robust to background load), and their outcomes
+    compared for byte-identity: the disabled spec must wire nothing.
+    The enabled cell (loss + jitter) runs once, informationally — its
+    clock moves with TCP's loss response, not just gate overhead.
+    """
+    configs = {
+        "clean": _impair_config(None),
+        "disabled": _impair_config(ImpairmentSpec()),
+    }
+    outcomes = {}
+    best: dict[str, float | None] = {"clean": None, "disabled": None}
+    for _ in range(rounds):
+        for name, config in configs.items():
+            start = time.perf_counter()
+            outcome = simulate_aggregate(config)
+            elapsed = time.perf_counter() - start
+            if best[name] is None or elapsed < best[name]:
+                best[name] = elapsed
+            outcomes[name] = outcome
+    enabled_start = time.perf_counter()
+    enabled = simulate_aggregate(_impair_config(IMPAIR_ENABLED_SPEC))
+    enabled_seconds = time.perf_counter() - enabled_start
+    identical = outcomes["clean"] == outcomes["disabled"]
+    return {
+        "unit": "wall seconds per run (min of interleaved rounds)",
+        "workload": "bcpqp aggregate, 2 flows, 8 Mbps, 4 s horizon",
+        "rounds": rounds,
+        "outcomes_identical": identical,
+        "clean_seconds": round(best["clean"], 4),
+        "disabled_seconds": round(best["disabled"], 4),
+        "disabled_overhead_ratio": round(best["disabled"] / best["clean"], 4),
+        "enabled": {
+            "spec": {"loss": IMPAIR_ENABLED_SPEC.loss,
+                     "jitter": IMPAIR_ENABLED_SPEC.jitter},
+            "seconds": round(enabled_seconds, 4),
+            "drop_rate": round(enabled.drop_rate, 4),
+            "arrived_packets": enabled.arrived_packets,
+        },
+    }
+
+
+def check_impair(
+    section: dict, *, max_overhead: float = IMPAIR_MAX_OVERHEAD
+) -> list[str]:
+    """Acceptance gates for the impairment machinery.
+
+    Deterministic gate (exact on any machine): the all-disabled spec's
+    outcome must be byte-identical to the clean run's.  Wall gate
+    (same-machine clocks, both sides measured interleaved in this run):
+    the disabled spec may cost at most ``max_overhead`` x the clean run.
+    """
+    failures = []
+    if not section["outcomes_identical"]:
+        failures.append(
+            "impair: disabled ImpairmentSpec() outcome differs from the "
+            "clean impair=None run — disabled machinery is not inert"
+        )
+    ratio = section["disabled_overhead_ratio"]
+    if ratio > max_overhead:
+        failures.append(
+            f"impair: disabled-spec wall overhead {ratio:.4f}x above the "
+            f"{max_overhead}x ceiling (clean {section['clean_seconds']}s, "
+            f"disabled {section['disabled_seconds']}s)"
+        )
+    return failures
+
+
 def _fleet_cell(
     aggregates: int, shards: int, *, isolate: bool = False
 ) -> dict:
@@ -617,6 +733,11 @@ def main(argv: list[str] | None = None) -> None:
         help="where to write the batched-packet-path-section JSON",
     )
     parser.add_argument(
+        "--impair-output",
+        default=str(Path(__file__).parent / "BENCH_impair.json"),
+        help="where to write the impairment-machinery-section JSON",
+    )
+    parser.add_argument(
         "--fleet-output",
         default=str(Path(__file__).parent / "BENCH_fleet.json"),
         help="where to write the sharded-fleet-section JSON",
@@ -634,10 +755,10 @@ def main(argv: list[str] | None = None) -> None:
     )
     parser.add_argument(
         "--check", action="store_true",
-        help="run only the scaling sweep, event-engine and batch "
-        "sections; fail if seconds/packet at N=1000 exceeds "
-        "--check-multiple times the N=10 value or any event-engine or "
-        "batch gate regresses",
+        help="run only the scaling sweep, event-engine, batch, impair "
+        "and fleet sections; fail if seconds/packet at N=1000 exceeds "
+        "--check-multiple times the N=10 value or any event-engine, "
+        "batch, impair or fleet gate regresses",
     )
     parser.add_argument(
         "--check-multiple", type=float, default=3.0,
@@ -671,6 +792,10 @@ def main(argv: list[str] | None = None) -> None:
         _write_batch(args.batch_output, batch)
         _print_batch(batch)
         failures += check_batch(batch, min_speedup=args.check_min_speedup)
+        impair = impair_section(args.rounds)
+        _write_impair(args.impair_output, impair)
+        _print_impair(impair)
+        failures += check_impair(impair)
         fleet = fleet_section(headline=_fleet_headline(args))
         _write_fleet(args.fleet_output, fleet)
         _print_fleet(fleet)
@@ -682,7 +807,7 @@ def main(argv: list[str] | None = None) -> None:
                 print(f"FAIL {failure}")
             raise SystemExit(1)
         print(
-            f"scaling + eventloop + batch + fleet checks passed "
+            f"scaling + eventloop + batch + impair + fleet checks passed "
             f"(multiple={args.check_multiple}, "
             f"min-speedup={args.check_min_speedup}, "
             f"min-efficiency={args.check_min_efficiency})"
@@ -717,6 +842,9 @@ def main(argv: list[str] | None = None) -> None:
     batch = batch_section(args.rounds)
     _write_batch(args.batch_output, batch)
     _print_batch(batch)
+    impair = impair_section(args.rounds)
+    _write_impair(args.impair_output, impair)
+    _print_impair(impair)
     fleet = fleet_section(headline=_fleet_headline(args))
     _write_fleet(args.fleet_output, fleet)
     _print_fleet(fleet)
@@ -777,6 +905,33 @@ def _print_fleet(section: dict) -> None:
             if headline is not None
             else ""
         )
+    )
+
+
+def _write_impair(path: str, section: dict) -> None:
+    document = {
+        "schema": "repro-bench-impair/1",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "impair": section,
+    }
+    Path(path).write_text(json.dumps(document, indent=2) + "\n")
+    print(f"wrote {path}")
+
+
+def _print_impair(section: dict) -> None:
+    enabled = section["enabled"]
+    print(
+        f"  impair     clean {section['clean_seconds']:7.4f}s  "
+        f"disabled {section['disabled_seconds']:7.4f}s  "
+        f"overhead {section['disabled_overhead_ratio']:6.4f}x  "
+        f"identical={section['outcomes_identical']}"
+    )
+    print(
+        f"  impair     enabled(loss={enabled['spec']['loss']}, "
+        f"jitter={enabled['spec']['jitter']}) {enabled['seconds']:7.4f}s  "
+        f"drop-rate {enabled['drop_rate']:.4f}"
     )
 
 

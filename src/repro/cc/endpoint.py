@@ -176,6 +176,7 @@ class TcpSender:
         self.timeouts = 0
         self.tlp_probes = 0
         self.loss_events = 0
+        self.corrupt_acks_dropped = 0
         self.completed_at: float | None = None
         self.started = False
 
@@ -230,11 +231,15 @@ class TcpSender:
 
         The sender is the ACK's terminal sink, so the packet is recycled
         into the ACK free list on the way out (even on early exits).
+        A corrupted ACK (failed checksum, see :mod:`repro.net.impair`)
+        is dropped — recycled but never processed.
         """
         if not packet.is_ack:
             return
         try:
-            if not self.done:
+            if packet.corrupt:
+                self.corrupt_acks_dropped += 1
+            elif not self.done:
                 self._process_ack(packet)
         finally:
             Packet.recycle_ack(packet)
@@ -259,6 +264,9 @@ class TcpSender:
             process = self._ack_fast if fast else self._process_ack
             for packet in packets:
                 if packet.kind is PacketKind.ACK:
+                    if packet.corrupt:
+                        self.corrupt_acks_dropped += 1
+                        continue
                     process(packet)
                     if self.completed_at is not None:
                         break
@@ -587,6 +595,7 @@ class TcpSender:
                 pkt.retransmit = retransmit
                 pkt.ecn_capable = self.ecn
                 pkt.ce = False
+                pkt.corrupt = False
                 pkt.uid = next(_packet_ids)
             else:
                 pkt = Packet.data(
@@ -1038,6 +1047,7 @@ class TcpReceiver:
         self.data_packets = 0
         self.data_bytes = 0
         self.duplicates = 0
+        self.corrupt_dropped = 0
 
     @property
     def sack_ranges(self) -> tuple[tuple[int, int], ...]:
@@ -1046,6 +1056,13 @@ class TcpReceiver:
 
     def receive(self, packet: Packet) -> None:
         if not packet.is_data:
+            return
+        if packet.corrupt:
+            # Failed checksum: drop without acknowledging.  The receiver
+            # is the terminal consumer either way, so the packet is
+            # recycled exactly once (the `_in_pool` latch).
+            self.corrupt_dropped += 1
+            Packet.recycle(packet)
             return
         self.data_packets += 1
         self.data_bytes += packet.size
@@ -1090,6 +1107,11 @@ class TcpReceiver:
         for packet in packets:
             if packet.kind is not PacketKind.DATA:
                 continue
+            if packet.corrupt:
+                # Dropped without an ACK; the end-of-loop recycle_data
+                # pass returns it to the pool with the rest of the batch.
+                self.corrupt_dropped += 1
+                continue
             data_packets += 1
             data_bytes += packet.size
             seq = packet.seq
@@ -1111,6 +1133,7 @@ class TcpReceiver:
                 ackpkt._in_pool = False
                 ackpkt.generation += 1
                 ackpkt.flow = packet.flow
+                ackpkt.corrupt = False
                 ackpkt.sent_at = now
                 ackpkt.ack_next = self.rcv_nxt
                 ackpkt.echo_ts = packet.sent_at
@@ -1153,6 +1176,10 @@ class TcpReceiver:
         """
         if packet.kind is not PacketKind.DATA:
             return
+        if packet.corrupt:
+            self.corrupt_dropped += 1
+            Packet.recycle(packet)
+            return
         self.data_packets += 1
         self.data_bytes += packet.size
         seq = packet.seq
@@ -1175,6 +1202,7 @@ class TcpReceiver:
             ack._in_pool = False
             ack.generation += 1
             ack.flow = packet.flow
+            ack.corrupt = False
             ack.sent_at = self._sim._now
             ack.ack_next = self.rcv_nxt
             ack.echo_ts = packet.sent_at

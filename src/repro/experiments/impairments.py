@@ -1,0 +1,163 @@
+"""Impairments: rate enforcement over lossy, jittery and bursty-loss paths.
+
+The paper's testbed links are clean; real subscriber paths are not.  This
+experiment re-runs the core enforcement comparison (BC-PQP vs a token
+bucket policer vs a shaper) with impairment channels on the access side
+of the limiter: i.i.d. loss, Gilbert-Elliott bursty loss, jitter with
+reordering, and combinations.
+
+Two questions:
+
+* **Goodput under impairment** — phantom queues make *drop* decisions
+  from simulated occupancy; path loss upstream of the limiter thins the
+  arrival process the phantoms see.  Does BC-PQP still let flows reach
+  the enforced rate when the path itself is eating packets, and does it
+  degrade more or less than the policer/shaper?
+* **Burst-control false triggers** — loss-recovery retransmission bursts
+  (slow-start restarts after RTO, RACK-triggered fast retransmits) look
+  locally like the bursts BC-PQP's windowed controller exists to clip.
+  ``magic fills``/``reclaims`` per second under each impairment measure
+  how often the controller actually fires when the "bursts" are just
+  recovery — on a clean path the controller should be near-quiet at
+  steady state, and impairments should not turn it into a flapper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.common import (
+    AggregateConfig,
+    ResultCache,
+    print_table,
+    run_aggregates,
+)
+from repro.net.impair import ImpairmentSpec
+from repro.units import mbps, ms, to_mbps
+from repro.workload.spec import FlowSpec
+
+
+@dataclass
+class Config:
+    """Impairments-grid parameters."""
+
+    rate: float = mbps(5.0)
+    ccs: tuple[str, ...] = ("reno", "cubic")
+    rtts: tuple[float, ...] = (ms(20), ms(40))
+    sizing_rtt: float = ms(100)
+    horizon: float = 20.0
+    warmup: float = 5.0
+    seed: int = 1
+
+
+#: The impairment conditions, mildest first.  Severities follow common
+#: emulation settings (netem loss 1-3%, GE with short high-loss bad
+#: periods, jitter a fraction of the base RTT).
+CONDITIONS: tuple[tuple[str, ImpairmentSpec | None], ...] = (
+    ("clean", None),
+    ("loss 1%", ImpairmentSpec(loss=0.01)),
+    ("loss 3%", ImpairmentSpec(loss=0.03)),
+    ("GE bursty", ImpairmentSpec(ge=(0.01, 0.3, 0.0, 0.5))),
+    ("jitter+reorder", ImpairmentSpec(jitter=0.005, reorder=0.05,
+                                      reorder_extra=0.005)),
+    ("loss+jitter", ImpairmentSpec(loss=0.02, jitter=0.005, reorder=0.02,
+                                   reorder_extra=0.005)),
+)
+
+_SCHEMES = ("bcpqp", "policer", "shaper")
+
+
+@dataclass
+class Result:
+    """Per (scheme, condition): goodput and burst-control activity."""
+
+    #: Mean normalized throughput keyed by (scheme, condition label).
+    mean_norm: dict[tuple[str, str], float] = field(default_factory=dict)
+    #: Limiter drop rate keyed the same way.
+    drop_rate: dict[tuple[str, str], float] = field(default_factory=dict)
+    #: Burst-control fills+reclaims per measured second (bcpqp only;
+    #: zero for the baselines).
+    magic_per_s: dict[tuple[str, str], float] = field(default_factory=dict)
+
+
+def grid(config: Config) -> list[AggregateConfig]:
+    """Schemes x impairment conditions over one shared workload."""
+    specs = tuple(
+        FlowSpec(slot=i, cc=cc, rtt=rtt)
+        for i, (cc, rtt) in enumerate(zip(config.ccs, config.rtts))
+    )
+    return [
+        AggregateConfig(
+            scheme=scheme,
+            specs=specs,
+            rate=config.rate,
+            max_rtt=config.sizing_rtt,
+            horizon=config.horizon,
+            warmup=config.warmup,
+            seed=config.seed,
+            impair=spec,
+        )
+        for scheme in _SCHEMES
+        for _label, spec in CONDITIONS
+    ]
+
+
+def run(
+    config: Config | None = None,
+    *,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+) -> Result:
+    """Run the impairments grid and collect the comparison numbers."""
+    config = config or Config()
+    result = Result()
+    outcomes = run_aggregates(grid(config), jobs=jobs, cache=cache)
+    span = config.horizon - config.warmup
+    cells = [
+        (scheme, label)
+        for scheme in _SCHEMES
+        for label, _spec in CONDITIONS
+    ]
+    for (scheme, label), agg in zip(cells, outcomes):
+        key = (scheme, label)
+        result.mean_norm[key] = agg.mean_normalized_throughput
+        result.drop_rate[key] = agg.drop_rate
+        result.magic_per_s[key] = (
+            (agg.magic_fills + agg.magic_reclaims) / span if span > 0 else 0.0
+        )
+    return result
+
+
+def main(
+    config: Config | None = None,
+    *,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+) -> Result:
+    """Print the impairments comparison."""
+    config = config or Config()
+    result = run(config, jobs=jobs, cache=cache)
+    print(
+        f"Impairments: {to_mbps(config.rate):.1f} Mbps enforced over "
+        f"{len(config.ccs)} flows, lossy/jittery access paths"
+    )
+    rows = []
+    for label, _spec in CONDITIONS:
+        row = [label]
+        for scheme in _SCHEMES:
+            key = (scheme, label)
+            row.append(f"{result.mean_norm[key]:.3f}")
+        row.append(f"{result.drop_rate[('bcpqp', label)]:.3f}")
+        row.append(f"{result.magic_per_s[('bcpqp', label)]:.2f}")
+        rows.append(row)
+    print_table(
+        ["condition"]
+        + [f"{s} norm tput" for s in _SCHEMES]
+        + ["bcpqp drop rate", "bcpqp magic/s"],
+        rows,
+    )
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -30,6 +30,7 @@ from repro.net.middlebox import Middlebox
 from repro.net.packet import FlowId
 from repro.policy.tree import Policy
 from repro.schemes import make_limiter
+from repro.sim.rng import RngFactory
 from repro.sim.simulator import Simulator
 from repro.wiring import wire_flow
 
@@ -89,6 +90,11 @@ def simulate_shard(config: ShardConfig) -> ShardSummary:
     policies: dict = {}
     limiters = []
     flows = 0
+    # Impairment streams are keyed by (aggregate, slot) off the global
+    # seed — like plan_for's derivation, independent of shard layout, so
+    # impaired fleets stay shard-count invariant.
+    impair = spec.impair if spec.impair and spec.impair.flow_enabled else None
+    impair_streams = RngFactory(spec.seed) if impair is not None else None
     for plan in plans:
         limiter = make_limiter(
             sim,
@@ -113,6 +119,14 @@ def simulate_shard(config: ShardConfig) -> ShardSummary:
                 demux=demux,
                 packets=None,
                 start=flow_spec.start,
+                impair=impair,
+                impair_rng=(
+                    impair_streams.stream(
+                        "impair", plan.aggregate, flow_spec.slot
+                    )
+                    if impair_streams is not None
+                    else None
+                ),
             )
             flows += 1
 

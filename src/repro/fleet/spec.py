@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.net.impair import ImpairmentSpec
 from repro.runner.cache import fleet_fingerprint
 from repro.sim.rng import RngFactory
 from repro.units import mbps
@@ -77,6 +78,10 @@ class FleetSpec:
     batch: int | None = None
     #: Attach the runtime invariant checker inside every shard.
     validate: bool = False
+    #: Optional per-flow impairment channels.  Each flow's impairment
+    #: stream derives from ``(seed, "impair", aggregate, slot)``, never
+    #: from shard layout, so impaired fleets stay shard-count invariant.
+    impair: ImpairmentSpec | None = None
 
     def __post_init__(self) -> None:
         if self.aggregates < 1:

@@ -7,7 +7,7 @@ from collections import deque
 from repro.net.fastpath import drain_coalesced
 from repro.net.packet import Packet
 from repro.net.sink import PacketSink, batch_capable
-from repro.sim.simulator import Simulator
+from repro.sim.simulator import SimulationError, Simulator
 
 
 class Link:
@@ -102,6 +102,9 @@ class Link:
         ):
             self.dropped_packets += 1
             self.dropped_bytes += packet.size
+            # Drop-tail is a terminal consumer: the sender keeps only
+            # scalar bookkeeping, never the packet object.
+            Packet.recycle(packet)
             return
         self._queue.append(packet)
         self._queued_bytes += packet.size
@@ -120,8 +123,15 @@ class Link:
         if self._delay > 0:
             sim = self._sim
             time = sim.now + self._delay
+            prop = self._prop
+            if prop and time < prop[-1][0]:
+                raise SimulationError(
+                    f"link {self.name!r}: non-monotone delivery time "
+                    f"{time!r} after {prop[-1][0]!r} — the coalesced "
+                    "FIFO assumes serialization order == delivery order"
+                )
             seq = sim.reserve_seq()
-            self._prop.append((time, seq, packet))
+            prop.append((time, seq, packet))
             if not self._prop_armed:
                 self._prop_armed = True
                 sim.call_at_reserved(time, seq, self._deliver_entry)

@@ -92,6 +92,11 @@ class Packet:
         For ACK packets: up to three SACK ranges ``(start, end)`` (end
         exclusive, in packet numbers) above ``ack_next``, lowest first —
         the receiver's out-of-order blocks, as Linux TCP reports them.
+    corrupt:
+        Set by an impairment channel (:mod:`repro.net.impair`) to model
+        a failed checksum: a corrupted DATA packet is dropped by the
+        receiver (no ACK), a corrupted ACK by the sender.  Reset on
+        every pooled reissue like the other mid-flight mutations.
     uid:
         Globally unique packet id, handy for tracing.  A pooled ACK gets
         a *fresh* uid on every reissue, so uid semantics are unchanged by
@@ -117,6 +122,7 @@ class Packet:
     ce: bool = False
     ecn_echo: bool = False
     sack: tuple[tuple[int, int], ...] = ()
+    corrupt: bool = field(default=False, repr=False, compare=False)
     uid: int = field(default_factory=lambda: next(_packet_ids))
     generation: int = field(default=0, repr=False, compare=False)
     _in_pool: bool = field(default=False, repr=False, compare=False)
@@ -131,9 +137,11 @@ class Packet:
 
     #: Free list for DATA packets.  The receiver is the terminal consumer
     #: of a data packet (downstream components keep only scalar columns),
-    #: so it recycles the ones it absorbs batch-at-a-time.  The pool only
-    #: ever fills from the batched receive path, so the unbatched
-    #: reference engine always falls through to fresh construction.
+    #: so it recycles the ones it absorbs batch-at-a-time.  Drop points
+    #: (impairment gates, the link's drop-tail buffer, the receiver's
+    #: corrupt-packet discard) are terminal consumers too and recycle
+    #: what they drop via :meth:`recycle`, so the pool can fill in any
+    #: engine; pooling stays value-invisible (fresh uid per reissue).
     _data_pool: ClassVar[list["Packet"]] = []
     _DATA_POOL_MAX: ClassVar[int] = 4096
 
@@ -171,6 +179,7 @@ class Packet:
             pkt.retransmit = retransmit
             pkt.ecn_capable = ecn_capable
             pkt.ce = False
+            pkt.corrupt = False
             pkt.uid = next(_packet_ids)
             return pkt
         return cls(
@@ -214,6 +223,7 @@ class Packet:
             pkt.generation += 1
             pkt.flow = flow
             pkt.ce = False
+            pkt.corrupt = False
             pkt.sent_at = sent_at
             pkt.ack_next = ack_next
             pkt.echo_ts = echo_ts
@@ -234,6 +244,28 @@ class Packet:
             sack=sack,
             ecn_echo=ecn_echo,
         )
+
+    @classmethod
+    def recycle(cls, packet: "Packet") -> None:
+        """Return one consumed packet (either kind) to its free list.
+
+        The single-packet form used by drop points — impairment gates,
+        drop-tail buffers, corrupt-packet discards — where the dropper is
+        the packet's terminal consumer.  The ``_in_pool`` latch makes a
+        second recycle a no-op, so a packet can only ever enter its pool
+        once per reissue.
+        """
+        if packet._in_pool:
+            return
+        if packet.kind is PacketKind.ACK:
+            pool = cls._ack_pool
+            limit = cls._ACK_POOL_MAX
+        else:
+            pool = cls._data_pool
+            limit = cls._DATA_POOL_MAX
+        if len(pool) < limit:
+            packet._in_pool = True
+            pool.append(packet)
 
     @classmethod
     def recycle_ack(cls, packet: "Packet") -> None:

@@ -24,7 +24,7 @@ from collections import deque
 from repro.net.fastpath import drain_coalesced
 from repro.net.packet import Packet
 from repro.net.sink import PacketSink, batch_capable
-from repro.sim.simulator import EventHandle, Simulator
+from repro.sim.simulator import EventHandle, SimulationError, Simulator
 
 import heapq
 
@@ -73,8 +73,15 @@ class Pipe:
         if self._delay > 0:
             sim = self._sim
             time = sim.now + self._delay
+            pending = self._pending
+            if pending and time < pending[-1][0]:
+                raise SimulationError(
+                    f"pipe {self.name!r}: non-monotone delivery time "
+                    f"{time!r} after {pending[-1][0]!r} — the coalesced "
+                    "FIFO assumes arrival order == delivery order"
+                )
             seq = sim.reserve_seq()
-            self._pending.append((time, seq, packet))
+            pending.append((time, seq, packet))
             if not self._armed:
                 self._armed = True
                 sim.call_at_reserved(time, seq, self._deliver_entry)
@@ -91,9 +98,16 @@ class Pipe:
         if self._delay > 0:
             sim = self._sim
             time = sim._now + self._delay
+            pending = self._pending
+            if pending and time < pending[-1][0]:
+                raise SimulationError(
+                    f"pipe {self.name!r}: non-monotone delivery time "
+                    f"{time!r} after {pending[-1][0]!r} — the coalesced "
+                    "FIFO assumes arrival order == delivery order"
+                )
             seq = sim._seq
             sim._seq = seq + 1
-            self._pending.append((time, seq, packet))
+            pending.append((time, seq, packet))
             if not self._armed:
                 self._armed = True
                 # call_at_reserved inlined (identical bookkeeping).
@@ -135,9 +149,15 @@ class Pipe:
         if self._delay > 0:
             sim = self._sim
             time = sim._now + self._delay
+            pending = self._pending
+            if pending and time < pending[-1][0]:
+                raise SimulationError(
+                    f"pipe {self.name!r}: non-monotone delivery time "
+                    f"{time!r} after {pending[-1][0]!r} — the coalesced "
+                    "FIFO assumes arrival order == delivery order"
+                )
             seq = sim._seq
             sim._seq = seq + n
-            pending = self._pending
             append = pending.append
             for packet in packets:
                 size += packet.size

@@ -135,7 +135,9 @@ class Trace:
         self._batch_sink = None if sink is None else batch_capable(sink)
 
     def receive(self, packet: Packet) -> None:
-        if packet.is_data or not self._data_only:
+        # Corrupted packets consume capacity upstream but fail their
+        # checksum at the endpoint, so they never count toward goodput.
+        if (packet.is_data or not self._data_only) and not packet.corrupt:
             size = packet.size
             self._append_time(self._sim.now)
             self._append_flow(packet.flow)
@@ -159,7 +161,7 @@ class Trace:
         total = 0
         for packet in packets:
             is_data = packet.kind is PacketKind.DATA
-            if is_data or not data_only:
+            if (is_data or not data_only) and not packet.corrupt:
                 size = packet.size
                 append_time(now)
                 append_flow(packet.flow)

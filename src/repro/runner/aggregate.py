@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.limiters.base import RateLimiter
 from repro.metrics.fairness import jain_index
+from repro.net.impair import ImpairmentSpec
 from repro.metrics.series import TimeSeries
 from repro.metrics.throughput import (
     aggregate_throughput_series,
@@ -66,6 +67,11 @@ class AggregateConfig:
     #: ``tests/test_engine_equivalence.py`` and the differential
     #: fuzzer); the field participates in the cache token regardless.
     batch: int | None = None
+    #: Optional impairment channels (loss/jitter/reorder/corrupt plus a
+    #: capacity trace) applied to the scenario.  ``None`` and an
+    #: all-disabled spec both construct nothing and draw no randomness,
+    #: so clean runs stay byte-identical.
+    impair: ImpairmentSpec | None = None
 
     def __post_init__(self) -> None:
         # Tolerate list inputs (call sites build grids with lists) while
@@ -99,6 +105,12 @@ class AggregateOutcome:
     arrived_packets: int
     flow_records: tuple[FlowRecord, ...] = ()
     bottleneck_drops: int = 0
+    #: Burst-control actions taken by a bcpqp limiter (0 for every other
+    #: scheme).  The impairments experiment reads these as the
+    #: false-trigger proxy: impairment-induced loss should not masquerade
+    #: as bursts and flip the controller.
+    magic_fills: int = 0
+    magic_reclaims: int = 0
 
     @property
     def normalized_series(self) -> list[float]:
@@ -149,6 +161,7 @@ def build_scenario(
         rng=random.Random(config.seed),
         horizon=config.horizon,
         bottleneck=config.bottleneck,
+        impair=config.impair,
     )
     return limiter, scenario
 
@@ -179,6 +192,8 @@ def measure(
         arrived_packets=limiter.stats.arrived_packets,
         flow_records=tuple(scenario.flow_records),
         bottleneck_drops=bottleneck.dropped_packets if bottleneck else 0,
+        magic_fills=getattr(limiter, "magic_fills", 0),
+        magic_reclaims=getattr(limiter, "magic_reclaims", 0),
     )
 
 

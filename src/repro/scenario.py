@@ -19,6 +19,7 @@ from typing import Sequence
 
 from repro.cc.endpoint import FlowDemux, TcpSender
 from repro.limiters.base import RateLimiter
+from repro.net.impair import CapacityTrace, ImpairmentSpec, TraceLink
 from repro.net.link import Link
 from repro.net.packet import FlowId
 from repro.net.trace import Trace
@@ -65,6 +66,7 @@ class FlowRunner:
         data_demux: FlowDemux,
         rng: Random,
         horizon: float,
+        impair: ImpairmentSpec | None = None,
     ) -> None:
         self._sim = sim
         self.spec = spec
@@ -73,6 +75,7 @@ class FlowRunner:
         self._demux = data_demux
         self._rng = rng
         self._horizon = horizon
+        self._impair = impair
         self._incarnation = 0
         self._starts: dict[int, float] = {}
         self.records: list[FlowRecord] = []
@@ -101,6 +104,15 @@ class FlowRunner:
         else:
             packets = spec.packets
 
+        # The impairment stream is drawn only when per-flow channels are
+        # enabled: a disabled spec consumes no randomness, so clean runs
+        # stay byte-identical to pre-impairment builds.
+        impair = self._impair
+        impair_rng = (
+            Random(self._rng.getrandbits(64))
+            if impair is not None and impair.flow_enabled
+            else None
+        )
         sender = wire_flow(
             self._sim,
             flow,
@@ -112,6 +124,8 @@ class FlowRunner:
             start=at,
             on_complete=self._on_complete,
             ecn=spec.ecn,
+            impair=impair,
+            impair_rng=impair_rng,
         )
         self.senders.append(sender)
 
@@ -148,6 +162,13 @@ class AggregateScenario:
         Optional secondary bottleneck between limiter and receiver.
     horizon:
         Run length in seconds — on-off slots stop relaunching past it.
+    impair:
+        Optional :class:`~repro.net.impair.ImpairmentSpec`.  Per-flow
+        channels (loss/jitter/reorder/duplicate/corrupt) wrap each
+        flow's delay pipes; a capacity trace inserts a Mahimahi-style
+        :class:`~repro.net.impair.TraceLink` between the limiter and
+        the bottleneck/receiver.  ``None`` or an all-disabled spec
+        changes nothing.
     """
 
     def __init__(
@@ -160,6 +181,7 @@ class AggregateScenario:
         aggregate: int = 0,
         bottleneck: BottleneckSpec | None = None,
         horizon: float = 30.0,
+        impair: ImpairmentSpec | None = None,
     ) -> None:
         if not specs:
             raise ValueError("need at least one flow spec")
@@ -172,6 +194,7 @@ class AggregateScenario:
 
         self.demux = FlowDemux()
         self.trace = Trace(sim, self.demux, data_only=True, name="receiver")
+        downstream: object = self.trace
         if bottleneck is not None:
             self.bottleneck: Link | None = Link(
                 sim,
@@ -181,10 +204,22 @@ class AggregateScenario:
                 buffer_bytes=bottleneck.buffer_bytes,
                 name="secondary-bottleneck",
             )
-            limiter.connect(self.bottleneck)
+            downstream = self.bottleneck
         else:
             self.bottleneck = None
-            limiter.connect(self.trace)
+        if impair is not None and impair.trace_enabled:
+            self.trace_link: TraceLink | None = TraceLink(
+                sim,
+                CapacityTrace(impair.trace_rates),
+                impair.trace_delay,
+                downstream,  # type: ignore[arg-type]
+                buffer_bytes=impair.trace_buffer,
+                name="trace-link",
+            )
+            downstream = self.trace_link
+        else:
+            self.trace_link = None
+        limiter.connect(downstream)
 
         self.runners = [
             FlowRunner(
@@ -195,6 +230,7 @@ class AggregateScenario:
                 data_demux=self.demux,
                 rng=Random(rng.getrandbits(64)),
                 horizon=horizon,
+                impair=impair,
             )
             for spec in specs
         ]

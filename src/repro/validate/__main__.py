@@ -88,6 +88,12 @@ def main(argv: list[str] | None = None) -> int:
         "reported as a finding (--jobs only)",
     )
     parser.add_argument(
+        "--impair", action="store_true",
+        help="draw impairment channels (loss/jitter/reorder/corrupt) per "
+        "case; the impaired corpus shares scenario bodies with the clean "
+        "corpus at equal (seed, index)",
+    )
+    parser.add_argument(
         "--index", type=int, default=None,
         help="run only generated case INDEX",
     )
@@ -104,7 +110,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.case is not None:
         report = run_case(FuzzCase.from_json(args.case))
     elif args.index is not None:
-        report = run_case(generate_case(args.seed, args.index))
+        report = run_case(
+            generate_case(args.seed, args.index, impair=args.impair)
+        )
     elif args.fuzz is not None:
         if args.fuzz <= 0:
             parser.error("--fuzz needs a positive case count")
@@ -114,6 +122,7 @@ def main(argv: list[str] | None = None) -> int:
             jobs=args.jobs,
             retries=args.retries,
             task_timeout=args.task_timeout,
+            impair=args.impair,
         )
         for failing in failures:
             _report_failure(

@@ -38,6 +38,7 @@ import json
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.net.impair import ImpairmentSpec
 from repro.policy.tree import Policy
 from repro.runner.aggregate import AggregateConfig, build_scenario
 from repro.sim.rng import RngFactory
@@ -106,6 +107,14 @@ class FuzzCase:
     #: (:mod:`repro.fleet`).  ``1`` skips the tier; corpus JSON predating
     #: the field deserializes to 1.
     shards: int = 1
+    #: Impairment channels applied to every run of the case (same spec,
+    #: same per-flow derived seeds, so impaired engines stay perfectly
+    #: comparable).  ``None`` = clean case; corpus JSON predating the
+    #: field deserializes to clean.  Impaired cases skip the loose
+    #: (quantum-vs-fluid band) tier — impairment loss amplified through
+    #: CC feedback swamps the band — but keep the strict, batch and
+    #: fleet tiers, which demand bit-equality regardless.
+    impair: ImpairmentSpec | None = None
 
     def __post_init__(self) -> None:
         # JSON round-trips tuples as lists; normalize back.
@@ -113,6 +122,10 @@ class FuzzCase:
             value = getattr(self, name)
             if value is not None and not isinstance(value, tuple):
                 object.__setattr__(self, name, tuple(value))
+        if self.impair is not None and not isinstance(
+            self.impair, ImpairmentSpec
+        ):
+            object.__setattr__(self, "impair", ImpairmentSpec(**self.impair))
 
     @property
     def num_flows(self) -> int:
@@ -146,6 +159,7 @@ class FuzzCase:
             seed=self.seed,
             policy=self.policy(),
             phantom_service=service,
+            impair=self.impair,
         )
 
     def to_json(self) -> str:
@@ -174,9 +188,65 @@ class FuzzCase:
     def with_horizon(self, horizon: float) -> "FuzzCase":
         return dataclasses.replace(self, horizon=horizon)
 
+    def without_impair(self) -> "FuzzCase":
+        return dataclasses.replace(self, impair=None)
 
-def generate_case(seed: int, index: int) -> FuzzCase:
-    """Deterministically draw case ``index`` of the root-``seed`` corpus."""
+
+def _draw_impairment(rng) -> ImpairmentSpec | None:
+    """Draw one impairment mix for a fuzz case.
+
+    Severities stay moderate — an i.i.d. loss rate past ~5% or a long
+    near-deterministic Gilbert-Elliott bad period phase-locks flows into
+    backed-off RTO chains, which stops exercising the recovery machinery
+    and just stalls the run.  Bad periods are short (mean
+    ``1/p_bg <= 10`` packets) with high in-state loss, which is the
+    burst shape RACK/TLP care about.
+    """
+    kinds = []
+    if rng.random() < 0.55:
+        kinds.append("loss" if rng.random() < 0.6 else "ge")
+    if rng.random() < 0.35:
+        kinds.append("jitter")
+    if rng.random() < 0.25:
+        kinds.append("ack_loss")
+    if rng.random() < 0.2:
+        kinds.append("duplicate")
+    if rng.random() < 0.2:
+        kinds.append("corrupt")
+    if not kinds:
+        kinds.append(("loss", "ge", "jitter")[rng.randint(0, 2)])
+    fields: dict = {}
+    if "loss" in kinds:
+        fields["loss"] = rng.uniform(0.002, 0.05)
+    if "ge" in kinds:
+        fields["ge"] = (
+            rng.uniform(0.002, 0.02),   # p_gb: rare entry into bad
+            rng.uniform(0.1, 0.5),      # p_bg: short bad periods
+            rng.uniform(0.0, 0.005),    # loss_good
+            rng.uniform(0.3, 0.8),      # loss_bad
+        )
+    if "jitter" in kinds:
+        fields["jitter"] = rng.uniform(0.0005, 0.01)
+        if rng.random() < 0.5:
+            fields["reorder"] = rng.uniform(0.01, 0.1)
+            fields["reorder_extra"] = rng.uniform(0.001, 0.01)
+    if "ack_loss" in kinds:
+        fields["ack_loss"] = rng.uniform(0.002, 0.05)
+    if "duplicate" in kinds:
+        fields["duplicate"] = rng.uniform(0.005, 0.05)
+    if "corrupt" in kinds:
+        fields["corrupt"] = rng.uniform(0.002, 0.03)
+    return ImpairmentSpec(**fields)
+
+
+def generate_case(seed: int, index: int, *, impair: bool = False) -> FuzzCase:
+    """Deterministically draw case ``index`` of the root-``seed`` corpus.
+
+    ``impair=True`` appends an impairment draw *after* every other field
+    (and from the same stream), so the impaired corpus shares scenario
+    bodies with the clean corpus at equal (seed, index) — and with the
+    flag off no extra draw happens, keeping the historical corpus stable.
+    """
     rng = RngFactory(seed).stream("fuzz-case", index)
     n = rng.randint(1, 5)
     ccs = tuple(rng.choice(CC_ALGOS) for _ in range(n))
@@ -201,14 +271,22 @@ def generate_case(seed: int, index: int) -> FuzzCase:
     # partition boundaries, not population size — uneven splits (3, 5)
     # exercise the remainder-distribution path of ``shard_bounds``.
     shards = rng.choice((1, 2, 3, 5))
+    # The remaining scalar draws stay in their historical order (seed,
+    # rate, horizon — previously consumed inside the constructor call);
+    # the impairment draw comes strictly after ALL of them so impaired
+    # and clean corpora share scenario bodies at equal (seed, index).
+    case_seed = rng.randint(1, 2**31)
+    rate = mbps(rng.uniform(1.0, 15.0))
+    horizon = rng.uniform(0.8, 1.5)
+    impairment = _draw_impairment(rng) if impair else None
     return FuzzCase(
         index=index,
-        seed=rng.randint(1, 2**31),
+        seed=case_seed,
         ccs=ccs,
         rtts=rtts,
         starts=starts,
-        rate=mbps(rng.uniform(1.0, 15.0)),
-        horizon=rng.uniform(0.8, 1.5),
+        rate=rate,
+        horizon=horizon,
         warmup=0.25,
         policy_kind=policy_kind,
         weights=weights,
@@ -216,6 +294,7 @@ def generate_case(seed: int, index: int) -> FuzzCase:
         baseline=BASELINES[index % len(BASELINES)],
         batch=batch,
         shards=shards,
+        impair=impairment,
     )
 
 
@@ -349,6 +428,7 @@ def _diff_fleet(case: FuzzCase, divergences: list[str]) -> int:
         horizon=case.horizon,
         warmup=case.warmup,
         batch=case.batch,
+        impair=case.impair,
     )
     single = run_fleet(spec, shards=1)
     sharded = run_fleet(spec, shards=case.shards)
@@ -376,7 +456,14 @@ def run_case(case: FuzzCase) -> CaseReport:
             for message in outcome["violations"]:
                 violations.append(f"{scheme}/{service}: {message}")
         _diff_strict(scheme, outcomes["fluid-ref"], outcomes["fluid"], divergences)
-        _diff_loose(scheme, outcomes["fluid"], outcomes["quantum"], divergences)
+        # The loose band assumes CC feedback amplifies only the engines'
+        # *own* decision differences; impairment loss multiplies that
+        # amplification past any useful band, so impaired cases rely on
+        # the bit-exact tiers instead.
+        if case.impair is None:
+            _diff_loose(
+                scheme, outcomes["fluid"], outcomes["quantum"], divergences
+            )
         # Differential batching tier: the same scheme/service at the
         # opposite delivery granularity must match bit for bit.
         alt = _run_engine(case, scheme, "fluid", batch=other_batch)
@@ -448,6 +535,12 @@ def minimize(
         return runner(candidate).failed
 
     current = case
+    # Cheapest shrink first: a failure that reproduces clean isn't an
+    # impairment bug at all.
+    if current.impair is not None:
+        trial = current.without_impair()
+        if fails(trial):
+            current = trial
     shrunk = True
     while shrunk and current.num_flows > 1:
         shrunk = False
@@ -473,6 +566,7 @@ def fuzz(
     jobs: int | None = None,
     retries: int = 1,
     task_timeout: float | None = None,
+    impair: bool = False,
 ) -> tuple[list[CaseReport], int]:
     """Run ``count`` cases; returns (failing reports, total simulations).
 
@@ -483,7 +577,7 @@ def fuzz(
     (a ``CaseReport`` with ``crash`` set) rather than killing the whole
     campaign.
     """
-    cases = [generate_case(seed, i) for i in range(count)]
+    cases = [generate_case(seed, i, impair=impair) for i in range(count)]
     if jobs is not None and jobs > 1:
         from repro.runner.supervisor import RetryPolicy, run_supervised
 

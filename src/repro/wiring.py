@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+from random import Random
 from typing import Callable
 
 from repro.cc.base import make_cc
 from repro.cc.endpoint import FlowDemux, TcpReceiver, TcpSender
+from repro.net.impair import ImpairmentSpec, build_ack_path, build_data_path
 from repro.net.packet import FlowId
 from repro.net.pipe import Pipe
 from repro.sim.simulator import Simulator
@@ -23,6 +25,8 @@ def wire_flow(
     start: float,
     on_complete: Callable[[TcpSender, float], None] | None = None,
     ecn: bool = False,
+    impair: ImpairmentSpec | None = None,
+    impair_rng: Random | None = None,
 ) -> TcpSender:
     """Create one TCP flow wired through the limiter ingress.
 
@@ -31,8 +35,22 @@ def wire_flow(
     pipe (rtt/2) back to the sender.  Used by the scenario's
     :class:`~repro.scenario.FlowRunner` and by the application models
     (video/web sessions).
+
+    An :class:`~repro.net.impair.ImpairmentSpec` with per-flow channels
+    enabled replaces the plain pipes with impairment chains (loss,
+    jitter, reordering, duplication, corruption) seeded from
+    ``impair_rng``; a ``None``/disabled spec constructs the exact same
+    plain pipes as before and draws nothing, so clean runs stay
+    byte-identical.
     """
-    forward = Pipe(sim, rtt / 2.0, ingress)  # type: ignore[arg-type]
+    impaired = impair is not None and impair_rng is not None
+    if impaired and impair.data_path_enabled:
+        forward = build_data_path(
+            sim, rtt / 2.0, ingress, impair, impair_rng,  # type: ignore[arg-type]
+            name=f"fwd-{flow}",
+        )
+    else:
+        forward = Pipe(sim, rtt / 2.0, ingress)  # type: ignore[arg-type]
     sender = TcpSender(
         sim,
         flow,
@@ -44,6 +62,9 @@ def wire_flow(
         initial_rtt=rtt,
         ecn=ecn,
     )
-    reverse = Pipe(sim, rtt / 2.0, sender)
+    if impaired and impair.ack_path_enabled:
+        reverse = build_ack_path(sim, rtt / 2.0, sender, impair, impair_rng)
+    else:
+        reverse = Pipe(sim, rtt / 2.0, sender)
     demux.register(flow, TcpReceiver(sim, reverse))
     return sender
