@@ -38,7 +38,18 @@ interleaved with per-side minimums; ``--check`` gates the
 disabled/clean wall ratio at ``IMPAIR_MAX_OVERHEAD`` (1.05) and fails
 hard if the outcomes differ at all.
 
-A sixth file, ``BENCH_fleet.json``, records the sharded-fleet section
+A sixth file, ``BENCH_churn.json``, records the live-reconfiguration
+section (:mod:`repro.churn`): one bcpqp aggregate run clean
+(``churn=None``) and with an empty ``ChurnPlan()`` (which must produce a
+byte-identical outcome: the empty plan constructs no driver and
+schedules nothing), timed interleaved with per-side minimums and gated
+at ``CHURN_MAX_OVERHEAD`` (1.05); an informational churned cell (a
+drawn plan actually mutating the limiter mid-run); and an
+``apply_update`` throughput microbench — transactional weight updates
+committed against a loaded limiter, gated at
+``CHURN_MIN_UPDATES_PER_S`` applied/sec.
+
+A seventh file, ``BENCH_fleet.json``, records the sharded-fleet section
 (:mod:`repro.fleet`): full end-to-end fleet runs (TCP endpoints, a
 middlebox hosting one limiter per aggregate, merged columnar metrics)
 at N=1000 unsharded (the baseline), N=1000 over 4 shards (whose merged
@@ -52,7 +63,10 @@ consistency-checks but does not re-run; regenerate it with
 ``--check`` runs only those sections and exits non-zero if (a)
 seconds/packet at N=1000 exceeds ``--check-multiple`` (default 3.0)
 times the N=10 value, or N=10000 exceeds the same multiple of N=100 —
-the guard for the virtual-time drain staying O(log N) — or (b) the
+the guard for the virtual-time drain staying O(log N) — or the churn
+gates fail: the empty-plan outcome must equal the clean outcome
+byte-for-byte at <= 1.05x its wall clock, and update throughput must
+hold the floor — or (b) the
 event-engine gates fail: heap pushes/packet must stay >= 1.5x below the
 pre-overhaul engine on bcpqp (>= 1.3x elsewhere), events/packet and
 peak heap must not creep back up, and bcpqp wall us/packet must stay
@@ -80,6 +94,7 @@ import argparse
 import itertools
 import json
 import platform
+import random
 import statistics
 import sys
 import time
@@ -91,6 +106,7 @@ sys.path.insert(0, str(_REPO_ROOT / "benchmarks"))
 
 import bench_sim_core  # noqa: E402
 
+from repro.churn import ChurnPlan, PolicyUpdate, draw_plan  # noqa: E402
 from repro.experiments import fig5_efficiency  # noqa: E402
 from repro.experiments.fleet_scale import as_json as fleet_cell_json  # noqa: E402
 from repro.fleet import FleetSpec, run_fleet  # noqa: E402
@@ -179,6 +195,24 @@ IMPAIR_MAX_OVERHEAD = 1.05
 #: delay jitter — both per-packet gates on the data path, so the cell
 #: prices the *active* machinery, not just its absence.
 IMPAIR_ENABLED_SPEC = ImpairmentSpec(loss=0.01, jitter=0.002)
+
+#: Allowed wall-clock ratio of the empty-``ChurnPlan()`` run over the
+#: clean ``churn=None`` run.  An empty plan constructs no driver and
+#: schedules no timer — anything past 5% is churn machinery leaking
+#: into the churn-free path.
+CHURN_MAX_OVERHEAD = 1.05
+
+#: Floor on transactional ``apply_update`` throughput (weight updates
+#: committed per wall second against a loaded bcpqp limiter).  Each
+#: commit settles the drain, rebuilds the GPS engine and re-seeds the
+#: virtual clocks; the microbench runs well above 10k/s on the
+#: reference box, so 1000/s catches an order-of-magnitude regression
+#: without flaking on slow CI.
+CHURN_MIN_UPDATES_PER_S = 1000.0
+
+#: The churned cell's plan size (informational cell: a drawn plan
+#: actually mutating weights/priorities/capacities mid-run).
+CHURN_PLAN_ACTIONS = 40
 
 #: Fleet-section cells (full end-to-end sims: TCP endpoints, middlebox,
 #: one limiter per aggregate, merged columnar metrics).  The baseline is
@@ -551,6 +585,160 @@ def check_impair(
     return failures
 
 
+def _churn_config(plan: ChurnPlan | None) -> AggregateConfig:
+    """The churn section's workload: one bcpqp aggregate, two flows."""
+    return AggregateConfig(
+        scheme="bcpqp",
+        specs=(
+            FlowSpec(slot=0, cc="reno", rtt=0.02),
+            FlowSpec(slot=1, cc="cubic", rtt=0.05),
+        ),
+        rate=mbps(8.0),
+        max_rtt=ms(100),
+        horizon=4.0,
+        warmup=1.0,
+        seed=7,
+        churn=plan,
+    )
+
+
+def _apply_throughput() -> dict:
+    """Transactional-update throughput against a loaded limiter.
+
+    Warms a bcpqp limiter with traffic so every commit migrates real
+    state (occupied phantoms, live GPS clocks), then times a tight loop
+    of alternating weight updates — each one a full validate + settle +
+    engine-rebuild + clock-reseed transaction.
+    """
+    sim = Simulator()
+    limiter = make_limiter(sim, "bcpqp", rate=mbps(50), num_queues=4,
+                           max_rtt=ms(50))
+    limiter.connect(NullSink())
+    flows = [FlowId(0, i) for i in range(4)]
+    for i in range(2000):
+        sim._now = i * 2e-5
+        limiter.receive(Packet.data(flows[i % 4], i, sim.now))
+    rng = random.Random(7)
+    updates = [
+        PolicyUpdate(weights=tuple(float(rng.randint(1, 4)) for _ in range(4)))
+        for _ in range(16)
+    ]
+    n = 2000
+    start = time.perf_counter()
+    for i in range(n):
+        sim._now += 1e-5
+        limiter.apply_update(updates[i % len(updates)])
+    elapsed = time.perf_counter() - start
+    return {
+        "updates": n,
+        "seconds": round(elapsed, 4),
+        "updates_per_second": round(n / elapsed, 1),
+    }
+
+
+def churn_section(rounds: int) -> dict:
+    """Live-reconfiguration cost: clean vs empty-plan vs churned.
+
+    Clean (``churn=None``) and empty-plan (``ChurnPlan()``) runs are
+    timed interleaved with per-side minimums (same estimator as the
+    batch section), and their outcomes compared for byte-identity: the
+    empty plan must construct no driver and schedule nothing.  The
+    churned cell (a drawn plan mutating the limiter mid-run) is
+    informational, and the ``apply_update`` microbench prices one
+    transactional commit.
+    """
+    configs = {
+        "clean": _churn_config(None),
+        "empty_plan": _churn_config(ChurnPlan()),
+    }
+    outcomes = {}
+    best: dict[str, float | None] = {"clean": None, "empty_plan": None}
+    for _ in range(rounds):
+        for name, config in configs.items():
+            start = time.perf_counter()
+            outcome = simulate_aggregate(config)
+            elapsed = time.perf_counter() - start
+            if best[name] is None or elapsed < best[name]:
+                best[name] = elapsed
+            outcomes[name] = outcome
+    plan = draw_plan(
+        random.Random(7),
+        num_queues=2,
+        rate=mbps(8.0),
+        horizon=4.0,
+        actions=CHURN_PLAN_ACTIONS,
+        kinds=("weights", "priorities", "resize", "capacity"),
+    )
+    churned_start = time.perf_counter()
+    churned = simulate_aggregate(_churn_config(plan))
+    churned_seconds = time.perf_counter() - churned_start
+    identical = outcomes["clean"] == outcomes["empty_plan"]
+    return {
+        "unit": "wall seconds per run (min of interleaved rounds)",
+        "workload": "bcpqp aggregate, 2 flows, 8 Mbps, 4 s horizon",
+        "rounds": rounds,
+        "outcomes_identical": identical,
+        "clean_seconds": round(best["clean"], 4),
+        "empty_plan_seconds": round(best["empty_plan"], 4),
+        "empty_plan_overhead_ratio": round(
+            best["empty_plan"] / best["clean"], 4
+        ),
+        "churned": {
+            "actions": CHURN_PLAN_ACTIONS,
+            "seconds": round(churned_seconds, 4),
+            "updates_applied": churned.updates_applied,
+            "updates_rejected": churned.updates_rejected,
+            "mean_normalized_throughput": round(
+                churned.mean_normalized_throughput, 4
+            ),
+        },
+        "apply_throughput": _apply_throughput(),
+    }
+
+
+def check_churn(
+    section: dict,
+    *,
+    max_overhead: float = CHURN_MAX_OVERHEAD,
+    min_updates_per_s: float = CHURN_MIN_UPDATES_PER_S,
+) -> list[str]:
+    """Acceptance gates for the live-reconfiguration machinery.
+
+    Deterministic gate (exact on any machine): the empty-plan outcome
+    must be byte-identical to the clean run's.  Wall gates (same-machine
+    clocks): the empty plan may cost at most ``max_overhead`` x the
+    clean run, and transactional update throughput must stay above
+    ``min_updates_per_s``.
+    """
+    failures = []
+    if not section["outcomes_identical"]:
+        failures.append(
+            "churn: empty ChurnPlan() outcome differs from the clean "
+            "churn=None run — inert plans are not free"
+        )
+    ratio = section["empty_plan_overhead_ratio"]
+    if ratio > max_overhead:
+        failures.append(
+            f"churn: empty-plan wall overhead {ratio:.4f}x above the "
+            f"{max_overhead}x ceiling (clean {section['clean_seconds']}s, "
+            f"empty {section['empty_plan_seconds']}s)"
+        )
+    throughput = section["apply_throughput"]["updates_per_second"]
+    if throughput < min_updates_per_s:
+        failures.append(
+            f"churn: {throughput:.0f} transactional updates/s below the "
+            f"{min_updates_per_s:.0f}/s floor"
+        )
+    churned = section["churned"]
+    if churned["updates_applied"] + churned["updates_rejected"] != churned["actions"]:
+        failures.append(
+            f"churn: churned cell applied {churned['updates_applied']} + "
+            f"rejected {churned['updates_rejected']} != plan's "
+            f"{churned['actions']} actions — driver lost updates"
+        )
+    return failures
+
+
 def _fleet_cell(
     aggregates: int, shards: int, *, isolate: bool = False
 ) -> dict:
@@ -738,6 +926,11 @@ def main(argv: list[str] | None = None) -> None:
         help="where to write the impairment-machinery-section JSON",
     )
     parser.add_argument(
+        "--churn-output",
+        default=str(Path(__file__).parent / "BENCH_churn.json"),
+        help="where to write the live-reconfiguration-section JSON",
+    )
+    parser.add_argument(
         "--fleet-output",
         default=str(Path(__file__).parent / "BENCH_fleet.json"),
         help="where to write the sharded-fleet-section JSON",
@@ -796,6 +989,10 @@ def main(argv: list[str] | None = None) -> None:
         _write_impair(args.impair_output, impair)
         _print_impair(impair)
         failures += check_impair(impair)
+        churn = churn_section(args.rounds)
+        _write_churn(args.churn_output, churn)
+        _print_churn(churn)
+        failures += check_churn(churn)
         fleet = fleet_section(headline=_fleet_headline(args))
         _write_fleet(args.fleet_output, fleet)
         _print_fleet(fleet)
@@ -807,7 +1004,8 @@ def main(argv: list[str] | None = None) -> None:
                 print(f"FAIL {failure}")
             raise SystemExit(1)
         print(
-            f"scaling + eventloop + batch + impair + fleet checks passed "
+            f"scaling + eventloop + batch + impair + churn + fleet "
+            f"checks passed "
             f"(multiple={args.check_multiple}, "
             f"min-speedup={args.check_min_speedup}, "
             f"min-efficiency={args.check_min_efficiency})"
@@ -845,6 +1043,9 @@ def main(argv: list[str] | None = None) -> None:
     impair = impair_section(args.rounds)
     _write_impair(args.impair_output, impair)
     _print_impair(impair)
+    churn = churn_section(args.rounds)
+    _write_churn(args.churn_output, churn)
+    _print_churn(churn)
     fleet = fleet_section(headline=_fleet_headline(args))
     _write_fleet(args.fleet_output, fleet)
     _print_fleet(fleet)
@@ -905,6 +1106,36 @@ def _print_fleet(section: dict) -> None:
             if headline is not None
             else ""
         )
+    )
+
+
+def _write_churn(path: str, section: dict) -> None:
+    document = {
+        "schema": "repro-bench-churn/1",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "churn": section,
+    }
+    Path(path).write_text(json.dumps(document, indent=2) + "\n")
+    print(f"wrote {path}")
+
+
+def _print_churn(section: dict) -> None:
+    churned = section["churned"]
+    throughput = section["apply_throughput"]
+    print(
+        f"  churn      clean {section['clean_seconds']:7.4f}s  "
+        f"empty-plan {section['empty_plan_seconds']:7.4f}s  "
+        f"overhead {section['empty_plan_overhead_ratio']:6.4f}x  "
+        f"identical={section['outcomes_identical']}"
+    )
+    print(
+        f"  churn      churned({churned['actions']} actions) "
+        f"{churned['seconds']:7.4f}s  "
+        f"applied {churned['updates_applied']}  "
+        f"rejected {churned['updates_rejected']}  "
+        f"apply-throughput {throughput['updates_per_second']:8.0f}/s"
     )
 
 

@@ -98,6 +98,20 @@ class BCPQP(PQP):
         """Cancel the periodic window sweep (for teardown in tests)."""
         self._sweep_timer.cancel()
 
+    def _after_reconfigure(self, now: float) -> None:
+        """Close the accounting windows at the mutation instant.
+
+        A committed reconfiguration invalidates every window's budget
+        basis (``X_i = r*_i x T`` changes with the rate, the tree and
+        the queue count), so the partial windows are discarded and all
+        queues restart a fresh window at ``now`` — sized for the new
+        queue count.  The periodic sweep keeps running untouched.
+        """
+        n = self.num_queues
+        self._accepted_window = [0.0] * n
+        self._arrived_window = [0.0] * n
+        self._window_start = [now] * n
+
     def expected_window_bytes(self, queue: int) -> float:
         """``X_i = r*_i x T`` under the current active set."""
         return self.queues.fluid_rate_of(queue) * self.period

@@ -307,6 +307,20 @@ class VirtualTimeGps:
     # Structure changes
     # ------------------------------------------------------------------
 
+    def set_rate(self, rate: float) -> None:
+        """Change the cumulative service rate at the current clock.
+
+        The caller must have :meth:`advance`\\ d to the mutation instant
+        first.  Only ``dV/dt`` slopes change: every queue's pending
+        empty event is a fixed *virtual* instant, so the heap entries
+        stay valid and vtime monotonicity is preserved across the
+        change — the cheap path live churn takes for rate-only updates.
+        """
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate!r}")
+        self._rate = rate
+        self._recompute_slopes()
+
     def add(self, queue: int, size: float) -> None:
         """Enqueue ``size`` bytes into ``queue`` at the current clock."""
         leaf = self._leaves[queue]

@@ -91,6 +91,17 @@ class PhantomQueueSet:
         self._quantum = float(quantum)
         #: Fluid-piece recomputations / DRR dequeues, for the cost model.
         self.drain_recomputes = 0
+        #: Mutation epoch: bumped by every committed :meth:`reconfigure`.
+        #: The invariant checker keys its epoch-seam checks off this.
+        self.epoch = 0
+        #: Bytes removed by reconfiguration (occupancy above a shrunk
+        #: capacity, whole removed queues) — the ledger's fourth leg:
+        #: in - reclaimed - drained - evicted = total.
+        self.evicted_bytes = 0.0
+        #: Drained bytes accumulated by engines retired at epoch seams
+        #: (the fluid engine is rebuilt on policy changes; the public
+        #: counter must stay continuous and monotone across them).
+        self._drained_base = 0.0
         #: Virtual-time engine (``fluid``) or eager counters (others).
         self._gps: VirtualTimeGps | None = None
         self._length: list[float] | None = None
@@ -129,7 +140,7 @@ class PhantomQueueSet:
     def drained_bytes(self) -> float:
         """Total bytes drained so far (real + magic)."""
         if self._gps is not None:
-            return self._gps.drained_bytes
+            return self._drained_base + self._gps.drained_bytes
         return self._drained
 
     def capacity(self, queue: int) -> float:
@@ -317,6 +328,132 @@ class PhantomQueueSet:
                 self._magic[queue] = lengths[queue]
         if self._total < 0.0:
             self._total = 0.0
+
+    # ------------------------------------------------------------------
+    # Live reconfiguration (policy churn)
+    # ------------------------------------------------------------------
+
+    def reconfigure(
+        self,
+        now: float,
+        *,
+        policy: Policy | None = None,
+        rate: float | None = None,
+        capacities: list[float] | None = None,
+    ) -> None:
+        """Atomically apply a *validated* reconfiguration at time ``now``.
+
+        The caller (the limiter's ``apply_update``) has already rejected
+        anything invalid; this method only commits.  Migration rules:
+
+        * The service process is settled at the mutation instant first.
+        * Rate-only on the fluid engine changes just the dV/dt slopes
+          (:meth:`VirtualTimeGps.set_rate` — heap entries are virtual
+          instants and stay valid); lazy engines pick the rate up at the
+          next advance, having accrued at the old rate until ``now``.
+        * A policy change rebuilds the engine for the new tree and
+          re-seeds surviving per-queue occupancy by index.  Removed
+          queues' bytes (real and magic) are *evicted* — accounted in
+          :attr:`evicted_bytes`, never silently lost — and
+          :attr:`drained_bytes` stays continuous via a base accumulator.
+          The quantum discipline's unspent service budget is discarded
+          at the seam; its DRR active set is rebuilt from scratch.
+        * Capacity shrinks clamp occupancy (excess evicted) and re-clamp
+          the magic watermarks, so occupancy <= capacity holds
+          immediately after the resize.
+
+        Every commit starts a new :attr:`epoch`.  This object's identity
+        is stable across reconfigurations (the invariant checker's
+        instance-level wrappers stay attached).
+        """
+        self.advance(now)
+        if rate is not None:
+            if self._gps is not None and policy is None:
+                self._gps.set_rate(rate)
+            self._rate = rate
+        if policy is not None:
+            self._migrate_policy(policy, capacities)
+        elif capacities is not None:
+            self._clamp_to(capacities)
+        self.epoch += 1
+
+    def _migrate_policy(
+        self, policy: Policy, capacities: list[float] | None
+    ) -> None:
+        """Re-seed the service engine for a new tree (settled already)."""
+        n_old = self._policy.num_queues
+        n_new = policy.num_queues
+        if capacities is None and n_new > n_old:
+            raise ValueError("queue count grew without capacities")
+        carried = [self.length(q) for q in range(n_old)]
+        evicted = 0.0
+        for q in range(n_new, n_old):
+            evicted += carried[q]
+        self.evicted_bytes += evicted
+        survivors = carried[:n_new]
+        magic = self._magic[:n_new]
+        if n_new > n_old:
+            survivors += [0.0] * (n_new - n_old)
+            magic += [0.0] * (n_new - n_old)
+        if policy is self._policy:
+            # In-place tree edit: flush the memo caches via the version
+            # counter.  (Swapping a fresh Policy object is the
+            # interning-safe path — see fleet/shard.py — but an edited
+            # tree must never serve stale share vectors either.)
+            policy.invalidate()
+        self._policy = policy
+        self._magic = magic
+        new_caps = (
+            [float(c) for c in capacities]
+            if capacities is not None
+            else self._capacity[:n_new]
+        )
+        if self._gps is not None:
+            self._drained_base += self._gps.drained_bytes
+            self._gps = VirtualTimeGps(policy, self._rate, start_time=self._clock)
+            for q, length in enumerate(survivors):
+                if length > 0.0:
+                    self._gps.add(q, length)
+        else:
+            self._length = survivors
+            total = 0.0
+            for length in survivors:
+                total += length
+            self._total = total
+            if self._drr is not None:
+                self._drr = ActiveSetDrr(
+                    policy, head_of=self._quantum_head, quantum=self._quantum
+                )
+                self._drr.reseed(
+                    q for q, length in enumerate(survivors) if length > _EPSILON
+                )
+            self._budget = 0.0
+        # A resize may ride along with the tree change; enforce the
+        # occupancy <= capacity invariant against the new capacities.
+        self._clamp_to(new_caps)
+
+    def _clamp_to(self, capacities: list[float]) -> None:
+        """Install new capacities, evicting occupancy above them."""
+        evicted = 0.0
+        for q, cap in enumerate(capacities):
+            before = self.length(q)
+            if before > cap:
+                if self._gps is not None:
+                    self._gps.remove(q, before - cap)
+                    after = self.length(q)
+                else:
+                    after = cap if cap > _EPSILON else 0.0
+                    if after == 0.0 and self._drr is not None:
+                        self._drr.deactivate(q)
+                    self._total -= before - after
+                    if self._total < 0.0:
+                        self._total = 0.0
+                    self._length[q] = after
+                evicted += before - after
+                if self._magic[q] > after:
+                    self._magic[q] = after
+        self._capacity = [float(c) for c in capacities]
+        self.evicted_bytes += evicted
 
     # ------------------------------------------------------------------
     # Enqueue / magic manipulation (callers advance() first)

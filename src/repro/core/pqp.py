@@ -8,6 +8,9 @@ otherwise it is dropped.  No packets are buffered; no dequeue timers run.
 
 from __future__ import annotations
 
+from typing import Callable
+
+from repro.churn import PolicyUpdate, UpdateRejected, reclassify
 from repro.classify.classifier import FlowClassifier
 from repro.core.phantom import PhantomQueueSet
 from repro.limiters.base import RateLimiter
@@ -87,6 +90,97 @@ class PQP(RateLimiter):
     def num_queues(self) -> int:
         """Number of phantom queues."""
         return self.queues.num_queues
+
+    def _stage_update(self, update: PolicyUpdate) -> Callable[[], None] | None:
+        """Validate a live reconfiguration; return its commit thunk.
+
+        Pure: every check runs against plain parameters (building a
+        candidate :class:`Policy` has no side effects on the limiter),
+        so a rejection leaves all state — including the lazy phantom
+        drain — byte-identical.
+        """
+        if update.is_noop:
+            return None
+
+        def reject(reason: str) -> None:
+            raise UpdateRejected(self.name, reason)
+
+        rate = update.rate
+        if rate is not None and not rate > 0:
+            reject(f"rate must be positive, got {rate!r}")
+        policy = update.policy
+        if policy is not None and not isinstance(policy, Policy):
+            reject(f"policy must be a Policy, got {type(policy).__name__}")
+        if policy is not None and (
+            update.weights is not None or update.priorities is not None
+        ):
+            reject("policy and weights/priorities are mutually exclusive")
+        if policy is None and (
+            update.weights is not None or update.priorities is not None
+        ):
+            weights = update.weights
+            priorities = update.priorities
+            if (
+                weights is not None
+                and priorities is not None
+                and len(weights) != len(priorities)
+            ):
+                reject(
+                    f"weights cover {len(weights)} queues but priorities "
+                    f"cover {len(priorities)}"
+                )
+            try:
+                if priorities is not None:
+                    policy = Policy.prioritized(
+                        priorities, list(weights) if weights else None
+                    )
+                else:
+                    assert weights is not None
+                    policy = Policy.weighted(weights)
+            except ValueError as exc:
+                reject(str(exc))
+
+        n_cur = self.num_queues
+        n_new = policy.num_queues if policy is not None else n_cur
+        caps: list[float] | None = None
+        capacities = update.capacities
+        if capacities is not None:
+            if isinstance(capacities, (int, float)):
+                caps = [float(capacities)] * n_new
+            else:
+                caps = [float(c) for c in capacities]
+                if len(caps) != n_new:
+                    reject(f"need {n_new} capacities, got {len(caps)}")
+            if any(c <= 0 for c in caps):
+                reject("capacities must be positive")
+        elif n_new != n_cur:
+            reject(
+                f"queue count changed ({n_cur} -> {n_new}) without capacities"
+            )
+        new_classifier = None
+        if n_new != n_cur:
+            new_classifier = reclassify(self._classifier, n_new)
+            if new_classifier is None:
+                reject(
+                    f"classifier {type(self._classifier).__name__} cannot "
+                    f"be rebuilt for {n_new} queues"
+                )
+
+        def commit() -> None:
+            now = self._sim.now
+            self.queues.reconfigure(
+                now, policy=policy, rate=rate, capacities=caps
+            )
+            if new_classifier is not None:
+                self._classifier = new_classifier
+            self._after_reconfigure(now)
+
+        return commit
+
+    def _after_reconfigure(self, now: float) -> None:
+        """Hook: per-scheme state migration after the phantom commit
+        (BC-PQP closes its accounting windows here)."""
+        del now
 
     def _on_packet(self, packet: Packet) -> None:
         now = self._sim.now

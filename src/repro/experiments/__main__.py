@@ -17,6 +17,7 @@ import time
 
 from repro.experiments import (
     appendix_a,
+    churn,
     ext_ecn,
     ext_hash_classification,
     fig1_motivation,
@@ -53,6 +54,7 @@ _MODULES = (
 _ON_DEMAND = (
     ("Fleet scale", "fleet", fleet_scale),
     ("Impairments", "impairments", impairments),
+    ("Policy churn", "churn", churn),
 )
 
 _NAMES = tuple(name for _, name, _ in _MODULES + _ON_DEMAND)

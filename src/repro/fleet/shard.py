@@ -22,8 +22,9 @@ import time
 from array import array
 
 from repro.cc.endpoint import FlowDemux
+from repro.churn import ChurnDriver
 from repro.fleet.recorder import FleetRecorder
-from repro.fleet.spec import AggregatePlan, ShardConfig, plan_for
+from repro.fleet.spec import AggregatePlan, ShardConfig, churn_plan_for, plan_for
 from repro.limiters.costs import Op
 from repro.metrics.merge import ShardSummary
 from repro.net.middlebox import Middlebox
@@ -89,6 +90,7 @@ def simulate_shard(config: ShardConfig) -> ShardSummary:
 
     policies: dict = {}
     limiters = []
+    drivers = []
     flows = 0
     # Impairment streams are keyed by (aggregate, slot) off the global
     # seed — like plan_for's derivation, independent of shard layout, so
@@ -109,6 +111,12 @@ def simulate_shard(config: ShardConfig) -> ShardSummary:
         limiter.connect(recorder)
         box.add_aggregate(plan.aggregate, limiter)
         limiters.append(limiter)
+        churn_plan = churn_plan_for(spec, plan)
+        if churn_plan is not None and churn_plan.enabled:
+            # Churn swaps whole Policy objects at commit (staged updates
+            # build fresh trees), so the interned, shared policies above
+            # are never mutated under a co-hosted limiter.
+            drivers.append(ChurnDriver(sim, limiter, churn_plan))
         for flow_spec in plan.specs:
             wire_flow(
                 sim,
@@ -187,4 +195,6 @@ def simulate_shard(config: ShardConfig) -> ShardSummary:
         events_processed=sim.events_processed,
         heap_pushes=sim.heap_pushes,
         flows=flows,
+        updates_applied=sum(d.applied for d in drivers),
+        updates_rejected=sum(d.rejected for d in drivers),
     )

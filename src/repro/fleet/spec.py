@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.churn import ChurnPlan, draw_plan
 from repro.net.impair import ImpairmentSpec
 from repro.runner.cache import fleet_fingerprint
 from repro.sim.rng import RngFactory
@@ -37,6 +38,7 @@ __all__ = [
     "AggregatePlan",
     "FleetSpec",
     "ShardConfig",
+    "churn_plan_for",
     "plan_for",
     "shard_bounds",
     "shard_configs",
@@ -82,10 +84,19 @@ class FleetSpec:
     #: stream derives from ``(seed, "impair", aggregate, slot)``, never
     #: from shard layout, so impaired fleets stay shard-count invariant.
     impair: ImpairmentSpec | None = None
+    #: Live-reconfiguration actions per aggregate: when positive, each
+    #: aggregate draws its own :class:`~repro.churn.ChurnPlan` of this
+    #: many actions from the ``(seed, "churn", aggregate)`` stream — a
+    #: pure function of the global seed and the aggregate id, never of
+    #: shard layout, so churned fleets stay shard-count invariant.  Zero
+    #: constructs no plans, no drivers and draws no randomness.
+    churn_actions: int = 0
 
     def __post_init__(self) -> None:
         if self.aggregates < 1:
             raise ValueError("aggregates must be >= 1")
+        if self.churn_actions < 0:
+            raise ValueError("churn_actions must be >= 0")
         if self.max_flows < 1:
             raise ValueError("max_flows must be >= 1")
         if self.warmup < 0 or self.horizon <= self.warmup:
@@ -165,6 +176,26 @@ def plan_for(spec: FleetSpec, aggregate: int) -> AggregatePlan:
     )
 
 
+def churn_plan_for(spec: FleetSpec, plan: AggregatePlan) -> ChurnPlan | None:
+    """Derive aggregate ``plan.aggregate``'s churn plan, or ``None``.
+
+    Same derivation rule as :func:`plan_for`: one named stream keyed by
+    the aggregate id, so the plan — and therefore every reconfiguration
+    the aggregate's limiter undergoes — is identical no matter how the
+    fleet is sharded.
+    """
+    if spec.churn_actions <= 0:
+        return None
+    rng = RngFactory(spec.seed).stream("churn", plan.aggregate)
+    return draw_plan(
+        rng,
+        num_queues=plan.num_flows,
+        rate=plan.rate,
+        horizon=spec.horizon,
+        actions=spec.churn_actions,
+    )
+
+
 def shard_bounds(aggregates: int, shards: int, index: int) -> tuple[int, int]:
     """Contiguous balanced partition: shard ``index``'s ``[lo, hi)`` ids.
 
@@ -208,7 +239,11 @@ class ShardConfig:
 
     def code_fingerprint(self) -> str:
         """Cache fingerprint covering the scheme and fleet sources."""
-        return fleet_fingerprint(self.spec.scheme, validate=self.spec.validate)
+        return fleet_fingerprint(
+            self.spec.scheme,
+            validate=self.spec.validate,
+            churn=self.spec.churn_actions > 0,
+        )
 
 
 def shard_configs(spec: FleetSpec, shards: int) -> list[ShardConfig]:

@@ -4,7 +4,9 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from typing import Callable
 
+from repro.churn import PolicyUpdate, UpdateRejected
 from repro.limiters.costs import CostMeter
 from repro.net.packet import Packet
 from repro.net.sink import PacketSink
@@ -71,6 +73,37 @@ class RateLimiter(ABC):
     def now(self) -> float:
         """Current simulation time."""
         return self._sim.now
+
+    def apply_update(self, update: PolicyUpdate) -> None:
+        """Atomically apply a live reconfiguration (policy churn).
+
+        Validation runs first and touches nothing: an invalid update
+        raises :class:`~repro.churn.UpdateRejected` with the limiter's
+        state byte-identical to before the call — the lazy drain is not
+        even settled.  A valid update commits in full at the current
+        simulation time and starts a new mutation epoch.  An all-``None``
+        update is an accepted no-op that changes nothing, so applying it
+        any number of times leaves the run bit-identical.
+        """
+        commit = self._stage_update(update)
+        if commit is None:
+            return
+        commit()
+        self._sim.reconfigurations += 1
+
+    def _stage_update(self, update: PolicyUpdate) -> Callable[[], None] | None:
+        """Validate ``update``; return the commit thunk (``None`` = no-op).
+
+        Must be *pure*: subclasses may read any state but mutate nothing
+        and settle nothing — rejection has to leave the limiter
+        byte-identical.  The base limiter supports only the no-op.
+        """
+        if update.is_noop:
+            return None
+        raise UpdateRejected(
+            self.name,
+            f"{type(self).__name__} does not support live reconfiguration",
+        )
 
     def receive(self, packet: Packet) -> None:
         """PacketSink entry point: account the arrival then decide."""

@@ -22,6 +22,9 @@ bursts larger than BC-PQP's (Figure 4b).
 
 from __future__ import annotations
 
+from typing import Callable
+
+from repro.churn import PolicyUpdate, UpdateRejected
 from repro.classify.classifier import FlowClassifier
 from repro.limiters.base import RateLimiter
 from repro.limiters.costs import Op
@@ -75,6 +78,71 @@ class FairPolicer(RateLimiter):
     def rate(self) -> float:
         """Enforced aggregate rate in bytes/second."""
         return self._rate
+
+    @property
+    def num_queues(self) -> int:
+        """Number of per-flow buckets (= classifier slots)."""
+        return self._classifier.num_queues
+
+    def _stage_update(self, update: PolicyUpdate) -> Callable[[], None] | None:
+        """FP can change rate, per-flow weights and the shared budget.
+
+        Queue-count changes and tree-shaped policies are rejected: FP's
+        sizing rule has no notion of hierarchy (§6.3.2), and its per-flow
+        state is bound to the classifier's slot count.
+        """
+        if update.is_noop:
+            return None
+        if update.policy is not None or update.priorities is not None:
+            raise UpdateRejected(
+                self.name, "FairPolicer carries flat weights, not a policy tree"
+            )
+        rate = update.rate
+        if rate is not None and not rate > 0:
+            raise UpdateRejected(
+                self.name, f"rate must be positive, got {rate!r}"
+            )
+        weights = update.weights
+        if weights is not None:
+            n = self.num_queues
+            if len(weights) != n:
+                raise UpdateRejected(
+                    self.name, f"need {n} weights, got {len(weights)}"
+                )
+            if any(w <= 0 for w in weights):
+                raise UpdateRejected(self.name, "weights must be positive")
+        bucket: float | None = None
+        caps = update.capacities
+        if caps is not None:
+            if not isinstance(caps, (int, float)):
+                raise UpdateRejected(
+                    self.name, "FairPolicer has one shared budget, not per-queue"
+                )
+            bucket = float(caps)
+            if not bucket > 0:
+                raise UpdateRejected(
+                    self.name, f"bucket must be positive, got {bucket!r}"
+                )
+
+        def commit() -> None:
+            now = self._sim.now
+            # Fold the generation pending at the old rate into the spare
+            # pool (the next arrival distributes it), then switch.
+            self._spare = min(
+                self._spare + self._rate * (now - self._last_refill),
+                self._bucket,
+            )
+            self._last_refill = now
+            if rate is not None:
+                self._rate = rate
+            if weights is not None:
+                self._weights = list(weights)
+            if bucket is not None:
+                self._bucket = bucket
+                if self._spare > bucket:
+                    self._spare = bucket
+
+        return commit
 
     @property
     def bucket_bytes(self) -> float:

@@ -10,7 +10,9 @@ dequeue — the structural sources of the shaper's CPU cost.
 from __future__ import annotations
 
 from collections import deque
+from typing import Callable
 
+from repro.churn import PolicyUpdate, UpdateRejected, reclassify
 from repro.classify.classifier import FlowClassifier
 from repro.limiters.base import RateLimiter
 from repro.limiters.costs import Op
@@ -61,6 +63,7 @@ class Shaper(RateLimiter):
         self._policy = policy
         self._classifier = classifier
         self._capacity = float(queue_bytes)
+        self._quantum = float(quantum)
         self._scheduler = HierarchicalDrrScheduler(policy, quantum=quantum)
         n = policy.num_queues
         self._queues: list[deque[Packet]] = [deque() for _ in range(n)]
@@ -78,11 +81,121 @@ class Shaper(RateLimiter):
         """Number of real packet queues."""
         return self._policy.num_queues
 
+    @property
+    def queue_capacity(self) -> float:
+        """Per-queue drop-tail capacity in bytes."""
+        return self._capacity
+
     def backlog_bytes(self, queue: int | None = None) -> float:
         """Bytes buffered in ``queue`` (or in all queues when ``None``)."""
         if queue is None:
             return sum(self._queue_bytes)
         return self._queue_bytes[queue]
+
+    def _stage_update(self, update: PolicyUpdate) -> Callable[[], None] | None:
+        """Validate a live reconfiguration; return its commit thunk.
+
+        The shaper buffers *real* packets, so migration is concrete: the
+        scheduler is rebuilt for the new tree, surviving queues carry
+        their backlog by index, and packets in removed queues (or above
+        a shrunk capacity, trimmed from the tail — drop-tail semantics)
+        are dropped and counted in the limiter stats.  A rate change
+        takes effect at the next packet serialization; the dequeue
+        already in flight finishes at the old rate.
+        """
+        if update.is_noop:
+            return None
+
+        def reject(reason: str) -> None:
+            raise UpdateRejected(self.name, reason)
+
+        rate = update.rate
+        if rate is not None and not rate > 0:
+            reject(f"rate must be positive, got {rate!r}")
+        policy = update.policy
+        if policy is not None and not isinstance(policy, Policy):
+            reject(f"policy must be a Policy, got {type(policy).__name__}")
+        if policy is not None and (
+            update.weights is not None or update.priorities is not None
+        ):
+            reject("policy and weights/priorities are mutually exclusive")
+        if policy is None and (
+            update.weights is not None or update.priorities is not None
+        ):
+            weights = update.weights
+            priorities = update.priorities
+            if (
+                weights is not None
+                and priorities is not None
+                and len(weights) != len(priorities)
+            ):
+                reject(
+                    f"weights cover {len(weights)} queues but priorities "
+                    f"cover {len(priorities)}"
+                )
+            try:
+                if priorities is not None:
+                    policy = Policy.prioritized(
+                        priorities, list(weights) if weights else None
+                    )
+                else:
+                    assert weights is not None
+                    policy = Policy.weighted(weights)
+            except ValueError as exc:
+                reject(str(exc))
+        capacity: float | None = None
+        caps = update.capacities
+        if caps is not None:
+            if not isinstance(caps, (int, float)):
+                reject("the shaper has one per-queue capacity, not a vector")
+            capacity = float(caps)
+            if not capacity > 0:
+                reject(f"queue_bytes must be positive, got {capacity!r}")
+        n_cur = self.num_queues
+        n_new = policy.num_queues if policy is not None else n_cur
+        new_classifier = None
+        if n_new != n_cur:
+            new_classifier = reclassify(self._classifier, n_new)
+            if new_classifier is None:
+                reject(
+                    f"classifier {type(self._classifier).__name__} cannot "
+                    f"be rebuilt for {n_new} queues"
+                )
+
+        def commit() -> None:
+            if rate is not None:
+                self._rate = rate
+            if capacity is not None:
+                self._capacity = capacity
+            if policy is not None:
+                if policy is self._policy:
+                    policy.invalidate()
+                self._policy = policy
+                self._scheduler = HierarchicalDrrScheduler(
+                    policy, quantum=self._quantum
+                )
+                # Migrate backlogs by index; removed queues drop whole.
+                for qi in range(n_new, n_cur):
+                    for packet in self._queues[qi]:
+                        self._drop(packet, queue=qi)
+                self._queues = self._queues[:n_new] + [
+                    deque() for _ in range(max(0, n_new - n_cur))
+                ]
+                self._queue_bytes = self._queue_bytes[:n_new] + [0.0] * max(
+                    0, n_new - n_cur
+                )
+            if new_classifier is not None:
+                self._classifier = new_classifier
+            if capacity is not None or policy is not None:
+                # Drop-tail trim: newest packets above the (possibly
+                # shrunk) capacity go first, as if they had arrived full.
+                for qi, queue in enumerate(self._queues):
+                    while queue and self._queue_bytes[qi] > self._capacity:
+                        packet = queue.pop()
+                        self._queue_bytes[qi] -= packet.size
+                        self._drop(packet, queue=qi)
+
+        return commit
 
     def _on_packet(self, packet: Packet) -> None:
         qi = self._classifier.queue_of(packet.flow)

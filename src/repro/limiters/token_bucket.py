@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+from typing import Callable
+
+from repro.churn import PolicyUpdate, UpdateRejected
 from repro.limiters.base import RateLimiter
 from repro.limiters.costs import Op
 from repro.net.packet import Packet
@@ -51,6 +54,52 @@ class TokenBucketPolicer(RateLimiter):
         """Tokens available right now (refilled to the current time)."""
         self._refill()
         return self._tokens
+
+    def _stage_update(self, update: PolicyUpdate) -> Callable[[], None] | None:
+        """A token bucket can change rate and bucket size, nothing else."""
+        if update.is_noop:
+            return None
+        if (
+            update.policy is not None
+            or update.weights is not None
+            or update.priorities is not None
+        ):
+            raise UpdateRejected(
+                self.name, "a token-bucket policer has no sharing policy"
+            )
+        rate = update.rate
+        if rate is not None and not rate > 0:
+            raise UpdateRejected(
+                self.name, f"rate must be positive, got {rate!r}"
+            )
+        bucket: float | None = None
+        caps = update.capacities
+        if caps is not None:
+            if not isinstance(caps, (int, float)):
+                if len(caps) != 1:
+                    raise UpdateRejected(
+                        self.name,
+                        f"a policer has one bucket, got {len(caps)} capacities",
+                    )
+                caps = caps[0]
+            bucket = float(caps)
+            if not bucket > 0:
+                raise UpdateRejected(
+                    self.name, f"bucket must be positive, got {bucket!r}"
+                )
+
+        def commit() -> None:
+            # Settle accrual at the old rate up to the mutation instant,
+            # then switch; a shrunk bucket clamps stored tokens.
+            self._refill()
+            if rate is not None:
+                self._rate = rate
+            if bucket is not None:
+                self._bucket = bucket
+                if self._tokens > bucket:
+                    self._tokens = bucket
+
+        return commit
 
     def _refill(self) -> None:
         now = self._sim.now

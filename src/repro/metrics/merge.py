@@ -79,6 +79,11 @@ class ShardSummary:
     events_processed: int = 0
     heap_pushes: int = 0
     flows: int = 0
+    #: Live-reconfiguration outcomes across the shard's aggregates
+    #: (0 without churn).  Each aggregate's plan derives from the global
+    #: seed and its own id, so these sums are shard-count invariant.
+    updates_applied: int = 0
+    updates_rejected: int = 0
 
     @property
     def num_aggregates(self) -> int:
@@ -119,6 +124,9 @@ class FleetMetrics:
     cycles_per_packet: float
     op_counts: dict[str, float] = field(default_factory=dict)
     digest: str = ""
+    #: Fleet-wide live-reconfiguration outcomes (0 without churn).
+    updates_applied: int = 0
+    updates_rejected: int = 0
 
     @property
     def drop_rate(self) -> float:
@@ -255,4 +263,6 @@ def merge_shard_summaries(summaries: list[ShardSummary]) -> FleetMetrics:
         ),
         op_counts=dict(zip(OP_NAMES, op_totals)),
         digest=digest.hexdigest(),
+        updates_applied=sum(s.updates_applied for s in summaries),
+        updates_rejected=sum(s.updates_rejected for s in summaries),
     )

@@ -89,7 +89,12 @@ class Policy:
                 f"got {queues}"
             )
         self._num_queues = len(queues)
-        self._share_cache: dict[tuple[int, float], tuple[float, ...]] = {}
+        #: Tree-version counter baked into every memo-cache key: bumped by
+        #: :meth:`invalidate`, so share vectors computed against an old
+        #: tree can never be served after an edit, even if a stale entry
+        #: somehow survived the accompanying cache clear.
+        self._version = 0
+        self._share_cache: dict[tuple[int, int, float], tuple[float, ...]] = {}
         self._compile_flat()
 
     def _compile_flat(self) -> None:
@@ -109,7 +114,7 @@ class Policy:
         root = self._root
         self._flat_leaves: tuple[Leaf, ...] | None = None
         self._flat_uniform = False
-        self._flat_cache: dict[int, tuple[int, float]] = {}
+        self._flat_cache: dict[tuple[int, int], tuple[int, float]] = {}
         if isinstance(root.node, Leaf) or not all(
             isinstance(c.node, Leaf) for c in root.children
         ):
@@ -155,6 +160,40 @@ class Policy:
     def root(self) -> Node:
         """The root node of the (immutable) tree."""
         return self._root.node
+
+    @property
+    def version(self) -> int:
+        """Tree-version counter; bumped by every :meth:`invalidate`."""
+        return self._version
+
+    def invalidate(self, root: Node | None = None) -> None:
+        """Drop all memoized share state (optionally rebinding the tree).
+
+        Every mutation of the tree — live policy churn replacing nodes,
+        weights or priorities — must go through here: the version counter
+        is part of every ``_share_cache``/``_flat_cache`` key, so a share
+        vector computed against the old tree can never be served again,
+        and the flat fast-path state is recompiled against the new root.
+
+        With ``root`` given, the policy is atomically rebound to the new
+        tree (validated first; on rejection the policy is untouched).
+        Policies interned across limiters (``fleet/shard.py``) must never
+        be edited in place — churn swaps whole :class:`Policy` objects
+        there.
+        """
+        if root is not None:
+            compiled = self._compile(root)
+            queues = sorted(compiled.leaves)
+            if queues != list(range(len(queues))):
+                raise ValueError(
+                    "policy leaves must cover queue indices 0..N-1 exactly "
+                    f"once, got {queues}"
+                )
+            self._root = compiled
+            self._num_queues = len(queues)
+        self._version += 1
+        self._share_cache.clear()
+        self._compile_flat()
 
     @property
     def num_queues(self) -> int:
@@ -231,7 +270,8 @@ class Policy:
         :meth:`_assign` sums winners in — so the fast path's shares are
         byte-identical to the recursive walk's.
         """
-        cached = self._flat_cache.get(mask)
+        key = (self._version, mask)
+        cached = self._flat_cache.get(key)
         if cached is not None:
             return cached
         leaves = self._flat_leaves
@@ -246,12 +286,12 @@ class Policy:
         if len(self._flat_cache) >= self._SHARE_CACHE_MAX:
             self._flat_cache.clear()
         result = (winner_mask, total_weight)
-        self._flat_cache[mask] = result
+        self._flat_cache[key] = result
         return result
 
     def _rates_for(self, mask: int, rate: float) -> tuple[float, ...]:
         """Memoized rate vector for an active-set bitmask."""
-        key = (mask, rate)
+        key = (self._version, mask, rate)
         cached = self._share_cache.get(key)
         if cached is not None:
             return cached

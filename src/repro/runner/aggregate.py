@@ -12,6 +12,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro.churn import ChurnDriver, ChurnPlan
 from repro.limiters.base import RateLimiter
 from repro.metrics.fairness import jain_index
 from repro.net.impair import ImpairmentSpec
@@ -72,6 +73,11 @@ class AggregateConfig:
     #: all-disabled spec both construct nothing and draw no randomness,
     #: so clean runs stay byte-identical.
     impair: ImpairmentSpec | None = None
+    #: Optional live-reconfiguration plan (see :mod:`repro.churn`).
+    #: ``None`` and an empty plan both construct no driver, schedule no
+    #: timer and consume no simulator seqs, so churn-free runs stay
+    #: byte-identical to pre-churn builds.
+    churn: ChurnPlan | None = None
 
     def __post_init__(self) -> None:
         # Tolerate list inputs (call sites build grids with lists) while
@@ -83,7 +89,11 @@ class AggregateConfig:
 
     def code_fingerprint(self) -> str:
         """Cache fingerprint covering this config's scheme code."""
-        return scheme_fingerprint(self.scheme, validate=self.validate)
+        return scheme_fingerprint(
+            self.scheme,
+            validate=self.validate,
+            churn=self.churn is not None,
+        )
 
 
 @dataclass
@@ -111,6 +121,10 @@ class AggregateOutcome:
     #: as bursts and flip the controller.
     magic_fills: int = 0
     magic_reclaims: int = 0
+    #: Live-reconfiguration outcomes (0 when the run carried no churn
+    #: plan): plan actions committed vs rejected with a typed error.
+    updates_applied: int = 0
+    updates_rejected: int = 0
 
     @property
     def normalized_series(self) -> list[float]:
@@ -163,6 +177,10 @@ def build_scenario(
         bottleneck=config.bottleneck,
         impair=config.impair,
     )
+    if config.churn is not None and config.churn.enabled:
+        # The driver parks itself on the limiter so `measure` can read
+        # the applied/rejected counts without changing this signature.
+        limiter.churn_driver = ChurnDriver(sim, limiter, config.churn)
     return limiter, scenario
 
 
@@ -174,6 +192,7 @@ def measure(
     """Extract the figure measurements from a completed run."""
     trace = scenario.trace
     bottleneck = scenario.bottleneck
+    driver = getattr(limiter, "churn_driver", None)
     return AggregateOutcome(
         scheme=config.scheme,
         rate=config.rate,
@@ -194,6 +213,8 @@ def measure(
         bottleneck_drops=bottleneck.dropped_packets if bottleneck else 0,
         magic_fills=getattr(limiter, "magic_fills", 0),
         magic_reclaims=getattr(limiter, "magic_reclaims", 0),
+        updates_applied=driver.applied if driver is not None else 0,
+        updates_rejected=driver.rejected if driver is not None else 0,
     )
 
 

@@ -101,7 +101,9 @@ def _hash_sources(relative_paths: tuple[str, ...]) -> str:
     return _hash_sources_at(relative_paths, _SRC_ROOT)
 
 
-def scheme_fingerprint(scheme: str, validate: bool = False) -> str:
+def scheme_fingerprint(
+    scheme: str, validate: bool = False, churn: bool = False
+) -> str:
     """Code fingerprint for one enforcement scheme's simulation outcome.
 
     ``validate=True`` folds the invariant-checker sources into the hash:
@@ -109,6 +111,10 @@ def scheme_fingerprint(scheme: str, validate: bool = False) -> str:
     observer), but a checker edit must still invalidate *validated* cache
     entries — while never touching the unvalidated ones, so enabling
     validation can't poison cached sweep results either way.
+    ``churn=True`` gets the same treatment for live-reconfiguration runs:
+    it folds ``churn.py`` in, so an edit to the churn machinery
+    invalidates exactly the cached cells whose outcome a churn plan
+    shaped — churn-free sweeps stay warm.
     """
     extra = _SCHEME_SOURCES.get(scheme)
     if extra is None:
@@ -116,17 +122,23 @@ def scheme_fingerprint(scheme: str, validate: bool = False) -> str:
         extra = ("limiters", "core")
     if validate:
         extra = extra + ("validate",)
+    if churn:
+        extra = extra + ("churn.py",)
     return _hash_sources(_SHARED_SOURCES + extra)
 
 
-def fleet_fingerprint(scheme: str, validate: bool = False) -> str:
+def fleet_fingerprint(
+    scheme: str, validate: bool = False, churn: bool = False
+) -> str:
     """Code fingerprint for one fleet *shard*'s simulation outcome.
 
     A shard result depends on everything a single-aggregate cell does for
     its scheme, plus the fleet layer itself (plan derivation, columnar
     recorder, shard wiring) and the middlebox that routes aggregates —
     so an edit to ``fleet/`` invalidates cached shard summaries while
-    per-figure aggregate cells stay warm.
+    per-figure aggregate cells stay warm.  ``churn=True`` mirrors
+    :func:`scheme_fingerprint`'s treatment for fleets with live
+    reconfiguration plans.
     """
     extra = _SCHEME_SOURCES.get(scheme)
     if extra is None:
@@ -134,6 +146,8 @@ def fleet_fingerprint(scheme: str, validate: bool = False) -> str:
     extra = extra + ("fleet", "net/middlebox.py")
     if validate:
         extra = extra + ("validate",)
+    if churn:
+        extra = extra + ("churn.py",)
     return _hash_sources(_SHARED_SOURCES + extra)
 
 

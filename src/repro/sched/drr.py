@@ -23,7 +23,7 @@ Two schedulers live here:
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro.policy.tree import ClassNode, Leaf, Node, Policy
 from repro.units import MSS
@@ -245,6 +245,18 @@ class ActiveSetDrr:
     def any_active(self) -> bool:
         """Whether any queue is currently occupied, O(1)."""
         return self._root.active
+
+    def reseed(self, occupied: Iterable[int]) -> None:
+        """Activate ``occupied`` queues on a freshly built scheduler.
+
+        Live policy churn rebuilds the scheduler against the new tree
+        and reseeds it with the surviving occupancy — active entries for
+        removed queues (and any stale deficit/cursor state) are pruned
+        by construction, since none of the old scheduler's state is
+        carried over.
+        """
+        for queue in occupied:
+            self.activate(queue)
 
     def activate(self, queue: int) -> None:
         """Report that ``queue`` went from empty to occupied."""

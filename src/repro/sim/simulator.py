@@ -104,6 +104,11 @@ class Simulator:
         # soft-timer wakes).  Exactly one heap entry references a pooled
         # handle at any time, so recycling at pop is sound.
         self._handle_pool: list[EventHandle] = []
+        #: Committed live-reconfiguration count (policy-churn telemetry,
+        #: maintained by ``RateLimiter.apply_update``): how many non-noop
+        #: updates every limiter on this simulator has committed.  Feeds
+        #: the churn benchmark's plan-changes-applied/sec floor.
+        self.reconfigurations = 0
         #: Optional :class:`repro.validate.InvariantChecker`.  Components
         #: (limiters, senders, middleboxes) self-register with it at
         #: construction; when ``None`` (the default) nothing is wrapped

@@ -94,6 +94,13 @@ def main(argv: list[str] | None = None) -> int:
         "corpus at equal (seed, index)",
     )
     parser.add_argument(
+        "--churn", action="store_true",
+        help="draw a live-reconfiguration plan (rate/weight/priority "
+        "changes, queue resizes) per case, exercising the epoch-seam "
+        "migration paths; the churned corpus shares scenario bodies with "
+        "the churn-free corpus at equal (seed, index)",
+    )
+    parser.add_argument(
         "--index", type=int, default=None,
         help="run only generated case INDEX",
     )
@@ -111,7 +118,9 @@ def main(argv: list[str] | None = None) -> int:
         report = run_case(FuzzCase.from_json(args.case))
     elif args.index is not None:
         report = run_case(
-            generate_case(args.seed, args.index, impair=args.impair)
+            generate_case(
+                args.seed, args.index, impair=args.impair, churn=args.churn
+            )
         )
     elif args.fuzz is not None:
         if args.fuzz <= 0:
@@ -123,6 +132,7 @@ def main(argv: list[str] | None = None) -> int:
             retries=args.retries,
             task_timeout=args.task_timeout,
             impair=args.impair,
+            churn=args.churn,
         )
         for failing in failures:
             _report_failure(

@@ -23,9 +23,18 @@ Enforced invariants (paper anchors in parentheses):
   buckets and spare pool within ``[0, B]``;
 * phantom occupancy: ``0 <= length_i <= capacity_i`` and magic
   watermarks never negative (§3.1, §3.5 sizing);
-* phantom byte ledger: bytes in - reclaims - drained = total occupancy,
-  within a crumb tolerance scaled by drain-piece count (§3.1 lazy
-  batched dequeues);
+* phantom byte ledger: bytes in - reclaims - drained - evicted = total
+  occupancy, within a crumb tolerance scaled by drain-piece count (§3.1
+  lazy batched dequeues; the evicted leg accounts bytes removed by live
+  reconfigurations — see ``repro.churn``);
+* epoch boundaries (live policy churn): the mutation epoch and
+  ``evicted_bytes`` are monotone, occupancy respects the *new*
+  capacities immediately after a commit (the seam check runs inside the
+  wrapped ``reconfigure``), GPS virtual-time baselines are re-seeded
+  across engine rebuilds, no phantom event ever targets a queue outside
+  the current queue count (removed-queue events never fire), the
+  policy's share/flat caches hold no key from a stale tree version, and
+  BC-PQP's window arrays are re-sized and freshly started at the seam;
 * ``drained_bytes`` / ``drain_recomputes`` monotone non-decreasing and
   GPS virtual times monotone per (node, priority) group (§3.2 fluid
   idealization);
@@ -156,6 +165,23 @@ class InvariantChecker:
                 self._check_simulator(sim)
 
         limiter.receive_batch = wrapped_receive_batch
+
+        original_apply = limiter.apply_update
+
+        def wrapped_apply(update: Any) -> None:
+            # Epoch-seam probe: run the full limiter check at the exact
+            # commit instant — after state migration, before any further
+            # event — so "occupancy <= the new capacities immediately
+            # after a resize" is asserted at the seam itself, not at the
+            # next packet.  A rejected update raises before the probe;
+            # the staging contract guarantees it mutated nothing, and the
+            # next regular check re-verifies that.
+            if not state["ready"]:
+                self._init_limiter(limiter, state)
+            original_apply(update)
+            self._check_limiter(limiter, state, None)
+
+        limiter.apply_update = wrapped_apply
 
         sweep = getattr(type(limiter), "_on_window_sweep", None)
         if sweep is not None:
@@ -323,17 +349,32 @@ class InvariantChecker:
         state["ready"] = True
         if isinstance(limiter, PQP):
             queues = limiter.queues
+            name = limiter.name
             state["ledger_in"] = 0.0
             state["ledger_reclaimed"] = 0.0
             state["drained_base"] = queues.drained_bytes
+            state["evicted_base"] = queues.evicted_bytes
             state["recompute_base"] = queues.drain_recomputes
             state["prev_drained"] = queues.drained_bytes
+            state["prev_evicted"] = queues.evicted_bytes
+            state["prev_epoch"] = queues.epoch
             state["prev_recomputes"] = queues.drain_recomputes
             state["prev_vtimes"] = queues.gps_virtual_times()
+
+            def check_queue(queue: int) -> None:
+                # Removed-queue events must never fire: after a shrink,
+                # nothing may enqueue/fill/reclaim past the new count.
+                self._ensure(
+                    0 <= queue < queues.num_queues,
+                    f"{name}: phantom event on queue {queue} outside the "
+                    f"current {queues.num_queues}-queue set "
+                    "(removed-queue event fired after reconfiguration)",
+                )
 
             original_enqueue = queues.try_enqueue
 
             def wrapped_enqueue(queue: int, size: float) -> bool:
+                check_queue(queue)
                 accepted = original_enqueue(queue, size)
                 if accepted:
                     state["ledger_in"] += size
@@ -344,6 +385,7 @@ class InvariantChecker:
             original_fill = queues.fill_with_magic
 
             def wrapped_fill(queue: int) -> float:
+                check_queue(queue)
                 added = original_fill(queue)
                 state["ledger_in"] += added
                 return added
@@ -353,6 +395,7 @@ class InvariantChecker:
             original_reclaim = queues.reclaim_magic
 
             def wrapped_reclaim(queue: int) -> float:
+                check_queue(queue)
                 reclaimed = original_reclaim(queue)
                 state["ledger_reclaimed"] += reclaimed
                 return reclaimed
@@ -503,20 +546,23 @@ class InvariantChecker:
             total_peeked += length
 
         drained = queues.drained_bytes - state["drained_base"]
+        evicted = queues.evicted_bytes - state["evicted_base"]
         recomputes = queues.drain_recomputes - state["recompute_base"]
         # Lazy engines shed sub-epsilon "crumbs" when a queue empties
         # (fluid additionally zeroes them without crediting drained_bytes),
         # so conservation holds to a tolerance scaled by how many linear
         # pieces / phantom dequeues have run.
         tolerance = _EPS * (recomputes + 10) + _REL * state["ledger_in"]
-        ledger_total = state["ledger_in"] - state["ledger_reclaimed"] - drained
+        ledger_total = (
+            state["ledger_in"] - state["ledger_reclaimed"] - drained - evicted
+        )
         running_total = queues.total_length()
         self._ensure(
             abs(ledger_total - running_total) <= tolerance,
             f"{name}: phantom ledger broken: in={state['ledger_in']!r} - "
             f"reclaimed={state['ledger_reclaimed']!r} - drained={drained!r}"
-            f" = {ledger_total!r}, but total_length()={running_total!r} "
-            f"(tolerance {tolerance!r})",
+            f" - evicted={evicted!r} = {ledger_total!r}, but "
+            f"total_length()={running_total!r} (tolerance {tolerance!r})",
         )
         self._ensure(
             abs(running_total - total_peeked) <= tolerance,
@@ -534,22 +580,68 @@ class InvariantChecker:
             f"{name}: drain_recomputes went backwards: "
             f"{queues.drain_recomputes} < {state['prev_recomputes']}",
         )
+        self._ensure(
+            queues.evicted_bytes >= state["prev_evicted"] - _EPS,
+            f"{name}: evicted_bytes went backwards: "
+            f"{queues.evicted_bytes!r} < {state['prev_evicted']!r}",
+        )
+        self._ensure(
+            queues.epoch >= state["prev_epoch"],
+            f"{name}: mutation epoch went backwards: "
+            f"{queues.epoch} < {state['prev_epoch']}",
+        )
+        epoch_changed = queues.epoch != state["prev_epoch"]
         state["prev_drained"] = queues.drained_bytes
+        state["prev_evicted"] = queues.evicted_bytes
+        state["prev_epoch"] = queues.epoch
         state["prev_recomputes"] = queues.drain_recomputes
+
+        # No stale-mask cache hits: every memo key must carry the live
+        # tree version (``Policy.invalidate`` bumps it and clears both
+        # caches; a key from an older version means some path computed
+        # shares against a replaced tree).
+        policy = queues.policy
+        version = policy.version
+        stale = [k for k in policy._share_cache if k[0] != version] + [
+            k for k in policy._flat_cache if k[0] != version
+        ]
+        self._ensure(
+            not stale,
+            f"{name}: stale policy memo keys {stale[:4]!r} survive at "
+            f"tree version {version} (cache not invalidated)",
+        )
 
         virtual_times = queues.gps_virtual_times()
         if virtual_times is not None:
             previous = state["prev_vtimes"]
-            for gi, (v_now, v_prev) in enumerate(zip(virtual_times, previous)):
-                self._ensure(
-                    v_now >= v_prev,
-                    f"{name}: GPS virtual time of group {gi} went "
-                    f"backwards: {v_now!r} < {v_prev!r}",
-                )
-            state["prev_vtimes"] = virtual_times
+            if epoch_changed or previous is None:
+                # A committed reconfiguration rebuilds the GPS engine:
+                # group count and virtual clocks re-seed, so monotonicity
+                # restarts from the fresh baseline.
+                state["prev_vtimes"] = virtual_times
+            else:
+                for gi, (v_now, v_prev) in enumerate(
+                    zip(virtual_times, previous)
+                ):
+                    self._ensure(
+                        v_now >= v_prev,
+                        f"{name}: GPS virtual time of group {gi} went "
+                        f"backwards: {v_now!r} < {v_prev!r}",
+                    )
+                state["prev_vtimes"] = virtual_times
 
     def _check_bcpqp(self, limiter: BCPQP, packet: Any) -> None:
         name = limiter.name
+        self._ensure(
+            len(limiter._accepted_window) == limiter.num_queues
+            and len(limiter._arrived_window) == limiter.num_queues
+            and len(limiter._window_start) == limiter.num_queues,
+            f"{name}: window arrays sized "
+            f"({len(limiter._accepted_window)}, "
+            f"{len(limiter._arrived_window)}, "
+            f"{len(limiter._window_start)}) for {limiter.num_queues} queues "
+            "(accounting windows not migrated at the epoch seam)",
+        )
         for qi in range(limiter.num_queues):
             accepted = limiter.accepted_window_bytes(qi)
             arrived = limiter.arrived_window_bytes(qi)

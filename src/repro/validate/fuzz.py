@@ -38,6 +38,7 @@ import json
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.churn import ChurnPlan, draw_plan
 from repro.net.impair import ImpairmentSpec
 from repro.policy.tree import Policy
 from repro.runner.aggregate import AggregateConfig, build_scenario
@@ -115,6 +116,14 @@ class FuzzCase:
     #: CC feedback swamps the band — but keep the strict, batch and
     #: fleet tiers, which demand bit-equality regardless.
     impair: ImpairmentSpec | None = None
+    #: Live-reconfiguration plan applied to every run of the case (same
+    #: plan for every engine/batch/shard leg, so churned engines stay
+    #: perfectly comparable).  ``None`` = churn-free case; corpus JSON
+    #: predating the field deserializes to churn-free.  Churned cases —
+    #: like impaired ones — skip the loose band (a mid-run rate or tree
+    #: change amplified through CC feedback swamps it) but keep every
+    #: bit-exact tier, now exercising the epoch-seam migration paths.
+    churn: ChurnPlan | None = None
 
     def __post_init__(self) -> None:
         # JSON round-trips tuples as lists; normalize back.
@@ -126,6 +135,8 @@ class FuzzCase:
             self.impair, ImpairmentSpec
         ):
             object.__setattr__(self, "impair", ImpairmentSpec(**self.impair))
+        if self.churn is not None and not isinstance(self.churn, ChurnPlan):
+            object.__setattr__(self, "churn", ChurnPlan(**self.churn))
 
     @property
     def num_flows(self) -> int:
@@ -160,6 +171,7 @@ class FuzzCase:
             policy=self.policy(),
             phantom_service=service,
             impair=self.impair,
+            churn=self.churn,
         )
 
     def to_json(self) -> str:
@@ -190,6 +202,9 @@ class FuzzCase:
 
     def without_impair(self) -> "FuzzCase":
         return dataclasses.replace(self, impair=None)
+
+    def without_churn(self) -> "FuzzCase":
+        return dataclasses.replace(self, churn=None)
 
 
 def _draw_impairment(rng) -> ImpairmentSpec | None:
@@ -239,13 +254,20 @@ def _draw_impairment(rng) -> ImpairmentSpec | None:
     return ImpairmentSpec(**fields)
 
 
-def generate_case(seed: int, index: int, *, impair: bool = False) -> FuzzCase:
+def generate_case(
+    seed: int, index: int, *, impair: bool = False, churn: bool = False
+) -> FuzzCase:
     """Deterministically draw case ``index`` of the root-``seed`` corpus.
 
     ``impair=True`` appends an impairment draw *after* every other field
     (and from the same stream), so the impaired corpus shares scenario
     bodies with the clean corpus at equal (seed, index) — and with the
     flag off no extra draw happens, keeping the historical corpus stable.
+    ``churn=True`` appends a small :class:`~repro.churn.ChurnPlan` draw
+    strictly after *all* existing fields (including the impairment draw)
+    under the same rule: churned corpora share scenario bodies — and,
+    when both flags are set, impairment mixes — with their churn-free
+    counterparts at equal (seed, index).
     """
     rng = RngFactory(seed).stream("fuzz-case", index)
     n = rng.randint(1, 5)
@@ -279,6 +301,17 @@ def generate_case(seed: int, index: int, *, impair: bool = False) -> FuzzCase:
     rate = mbps(rng.uniform(1.0, 15.0))
     horizon = rng.uniform(0.8, 1.5)
     impairment = _draw_impairment(rng) if impair else None
+    churn_plan = (
+        draw_plan(
+            rng,
+            num_queues=n,
+            rate=rate,
+            horizon=horizon,
+            actions=rng.randint(1, 5),
+        )
+        if churn
+        else None
+    )
     return FuzzCase(
         index=index,
         seed=case_seed,
@@ -295,6 +328,7 @@ def generate_case(seed: int, index: int, *, impair: bool = False) -> FuzzCase:
         batch=batch,
         shards=shards,
         impair=impairment,
+        churn=churn_plan,
     )
 
 
@@ -429,6 +463,13 @@ def _diff_fleet(case: FuzzCase, divergences: list[str]) -> int:
         warmup=case.warmup,
         batch=case.batch,
         impair=case.impair,
+        # Churned cases churn the fleet too: each aggregate draws its own
+        # per-aggregate plan (as many actions as the case's plan) from
+        # the fleet seed, so the tier proves the *reconfiguration* paths
+        # are shard-layout invariant, not just the steady-state ones.
+        churn_actions=(
+            len(case.churn.actions) if case.churn is not None else 0
+        ),
     )
     single = run_fleet(spec, shards=1)
     sharded = run_fleet(spec, shards=case.shards)
@@ -457,10 +498,11 @@ def run_case(case: FuzzCase) -> CaseReport:
                 violations.append(f"{scheme}/{service}: {message}")
         _diff_strict(scheme, outcomes["fluid-ref"], outcomes["fluid"], divergences)
         # The loose band assumes CC feedback amplifies only the engines'
-        # *own* decision differences; impairment loss multiplies that
-        # amplification past any useful band, so impaired cases rely on
-        # the bit-exact tiers instead.
-        if case.impair is None:
+        # *own* decision differences; impairment loss — or a mid-run
+        # rate/tree change — multiplies that amplification past any
+        # useful band, so impaired and churned cases rely on the
+        # bit-exact tiers instead.
+        if case.impair is None and case.churn is None:
             _diff_loose(
                 scheme, outcomes["fluid"], outcomes["quantum"], divergences
             )
@@ -535,8 +577,13 @@ def minimize(
         return runner(candidate).failed
 
     current = case
-    # Cheapest shrink first: a failure that reproduces clean isn't an
+    # Cheapest shrinks first: a failure that reproduces without its churn
+    # plan isn't a churn bug, and one that reproduces clean isn't an
     # impairment bug at all.
+    if current.churn is not None:
+        trial = current.without_churn()
+        if fails(trial):
+            current = trial
     if current.impair is not None:
         trial = current.without_impair()
         if fails(trial):
@@ -567,6 +614,7 @@ def fuzz(
     retries: int = 1,
     task_timeout: float | None = None,
     impair: bool = False,
+    churn: bool = False,
 ) -> tuple[list[CaseReport], int]:
     """Run ``count`` cases; returns (failing reports, total simulations).
 
@@ -577,7 +625,10 @@ def fuzz(
     (a ``CaseReport`` with ``crash`` set) rather than killing the whole
     campaign.
     """
-    cases = [generate_case(seed, i, impair=impair) for i in range(count)]
+    cases = [
+        generate_case(seed, i, impair=impair, churn=churn)
+        for i in range(count)
+    ]
     if jobs is not None and jobs > 1:
         from repro.runner.supervisor import RetryPolicy, run_supervised
 
